@@ -1,0 +1,26 @@
+"""E3 — two-step coverage across protocols (§2's observations).
+
+Fraction of faulty sets E (|E| = e) for which an E-faulty synchronous run
+deciding by 2Δ exists, with each protocol at its own minimal system size.
+Paxos covers only the E sparing its initial leader; the fast protocols
+cover everything — Figure 1 with fewer processes than Fast Paxos.
+"""
+
+from repro.analysis import e3_two_step_coverage_rows, render_records
+from conftest import emit
+
+
+def bench_e3_two_step_success(once):
+    rows = once(e3_two_step_coverage_rows, (1, 2, 3))
+    emit(
+        "e3_two_step_success",
+        render_records(rows, title="E3 — two-step coverage", float_digits=2),
+    )
+    for row in rows:
+        if row["protocol"] == "paxos":
+            assert row["coverage"] < 1.0
+        else:
+            assert row["coverage"] == 1.0
+    for f in (1, 2, 3):
+        per_f = {r["protocol"]: r["n"] for r in rows if r["f"] == f}
+        assert per_f["twostep-task"] <= per_f["fast-paxos"]

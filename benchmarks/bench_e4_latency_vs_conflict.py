@@ -1,0 +1,48 @@
+"""E4 — decision latency vs concurrent distinct proposals.
+
+Under the favourable schedules the definitions quantify over, both fast
+protocols decide at 2Δ for any number of conflicting proposals — Figure 1
+just needs fewer processes. Under random arrival orders the fast paths
+are existential, not guaranteed: collisions and vote-splitting push the
+first decision to the slow path a few Δ later.
+"""
+
+from repro.analysis import (
+    e4_latency_vs_conflict_rows,
+    line_chart,
+    render_records,
+    series,
+)
+from conftest import emit
+
+
+def bench_e4_latency_vs_conflict(once):
+    rows = once(e4_latency_vs_conflict_rows)
+    chart = line_chart(
+        [
+            series(
+                f"{protocol}/{schedule}",
+                [
+                    (r["distinct_proposals"], r["first_decision_mean"])
+                    for r in rows
+                    if r["protocol"] == protocol and r["schedule"] == schedule
+                ],
+            )
+            for protocol in ("twostep-task", "fast-paxos")
+            for schedule in ("best", "random")
+        ],
+        title="Figure E4 — first decision (Δ) vs distinct proposals",
+        x_label="concurrent distinct proposals",
+        y_label="delay (Δ)",
+    )
+    emit(
+        "e4_latency_vs_conflict",
+        render_records(rows, title="E4 — latency vs conflict", float_digits=2)
+        + "\n\n"
+        + chart,
+    )
+    for row in rows:
+        if row["schedule"] == "best":
+            assert row["first_decision_mean"] == 2.0
+        else:
+            assert row["first_decision_mean"] >= 2.0

@@ -1,0 +1,47 @@
+"""E5 — WAN commit latency vs system size (§1's "hundreds of
+milliseconds" claim).
+
+Same (f, e) = (2, 2), same seven-region topology, three system sizes:
+the object bound (5), the task bound (6), Lamport's bound (7). Every
+extra process pushes the proposer's fast quorum to a farther site.
+"""
+
+from repro.analysis import (
+    bar_chart,
+    e5_protocol_comparison_rows,
+    e5_wan_rows,
+    render_records,
+)
+from conftest import emit
+
+
+def bench_e5_wan_latency(once):
+    rows = once(e5_wan_rows, 2, 2)
+    chart = bar_chart(
+        {f"{r['bound']} (n={r['n']})": r["measured_mean_ms"] for r in rows},
+        title="Figure E5 — mean fast-path commit latency",
+        unit=" ms",
+    )
+    comparison = e5_protocol_comparison_rows(2, 2)
+    emit(
+        "e5_wan_latency",
+        render_records(rows, title="E5 — WAN commit latency (ms)")
+        + "\n\n"
+        + chart
+        + "\n\n"
+        + render_records(
+            comparison,
+            title="E5b — per-protocol solo-command latency (analytic, ms)",
+        ),
+    )
+    by_protocol = {r["protocol"]: r["mean_ms"] for r in comparison}
+    assert by_protocol["twostep-object"] < by_protocol["twostep-task"]
+    assert by_protocol["twostep-task"] < by_protocol["fast-paxos"]
+    assert by_protocol["twostep-object"] < by_protocol["paxos (leader@us-east)"]
+    means = [row["measured_mean_ms"] for row in rows]
+    maxes = [row["measured_max_ms"] for row in rows]
+    assert means[0] <= means[1] <= means[2]
+    assert means[2] - means[0] > 30, "the gap should be tens of ms on average"
+    assert maxes[2] - maxes[0] >= 40, "and larger at the worst proposer"
+    for row in rows:
+        assert abs(row["measured_mean_ms"] - row["predicted_mean_ms"]) < 1e-6

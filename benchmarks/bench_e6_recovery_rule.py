@@ -1,0 +1,19 @@
+"""E6 — the recovery rule is exactly as strong as Lemma 7 / Lemma C.2.
+
+Randomized protocol-reachable 1B quorums containing a genuine fast
+decision: at the bound the selection rule recovers the decided value
+every single time; one process below, counterexamples appear.
+"""
+
+from repro.analysis import e6_recovery_rows, render_records
+from conftest import emit
+
+
+def bench_e6_recovery_rule(once):
+    rows = once(e6_recovery_rows)
+    emit("e6_recovery_rule", render_records(rows, title="E6 — recovery soundness"))
+    for row in rows:
+        if row["where"] == "at bound":
+            assert row["recovery_failures"] == 0, row
+    below = [r for r in rows if r["where"] == "below bound"]
+    assert any(r["recovery_failures"] > 0 for r in below)

@@ -1,0 +1,19 @@
+"""E7 — message complexity of a fast, crash-free, same-value run.
+
+Counts every point-to-point message until all processes decide. Fast
+Paxos disseminates fast votes to all learners (Θ(n²)); Figure 1 funnels
+votes to the proposer and pays one Decide broadcast; Paxos (with
+learner-broadcast votes) sits between.
+"""
+
+from repro.analysis import e7_message_rows, render_records
+from conftest import emit
+
+
+def bench_e7_message_complexity(once):
+    rows = once(e7_message_rows)
+    emit("e7_message_complexity", render_records(rows, title="E7 — messages to decision"))
+    by_protocol = {r["protocol"]: r for r in rows}
+    assert by_protocol["twostep-task"]["n"] < by_protocol["fast-paxos"]["n"]
+    for row in rows:
+        assert row["all_decided_by"] <= 3.0

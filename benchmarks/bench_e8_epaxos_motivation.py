@@ -1,0 +1,42 @@
+"""E8 — the EPaxos observation that motivated the paper (§1).
+
+EPaxos at n = 2f+1 commits conflict-free commands after two message
+delays while sustaining e = ceil((f+1)/2) failures — seemingly beating
+Lamport's 2e+f+1 bound, and sitting exactly on Theorem 6's object bound.
+Latency degrades toward the slow path as the conflict rate grows.
+"""
+
+from repro.analysis import e8_epaxos_rows, line_chart, render_records, series
+from conftest import emit
+
+
+def bench_e8_epaxos_motivation(once):
+    rows = once(e8_epaxos_rows, (1, 2, 3))
+    chart = line_chart(
+        [
+            series(
+                f"f={f}",
+                [
+                    (r["conflict_rate"], r["commit_mean"])
+                    for r in rows
+                    if r["f"] == f
+                ],
+            )
+            for f in (1, 2, 3)
+        ],
+        title="Figure E8 — EPaxos commit latency (Δ) vs conflict rate",
+        x_label="conflict rate",
+        y_label="delay (Δ)",
+    )
+    emit(
+        "e8_epaxos",
+        render_records(rows, title="E8 — EPaxos at n = 2f+1", float_digits=2)
+        + "\n\n"
+        + chart,
+    )
+    for row in rows:
+        if row["conflict_rate"] == 0.0:
+            assert row["fast_fraction"] == 1.0
+            assert row["commit_mean"] == 2.0
+        if row["conflict_rate"] == 1.0:
+            assert row["commit_mean"] > 2.0

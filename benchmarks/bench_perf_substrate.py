@@ -1,0 +1,81 @@
+"""Substrate performance microbenchmarks (not an experiment — tooling).
+
+Measures the throughput of the simulation substrate itself so regressions
+in the DES, the protocols' hot paths, and the selection rule are visible:
+
+* full synchronous consensus runs per second (Figure 1, n = 6);
+* simulator event throughput on a ping-heavy workload;
+* selection-rule evaluations per second.
+
+These use pytest-benchmark's statistical mode (many rounds), unlike the
+E1–E10 experiment benches which run once.
+"""
+
+import random
+
+from repro.analysis.experiments import random_fast_decision_reports
+from repro.core import BOTTOM
+from repro.omega import lowest_correct_omega_factory
+from repro.protocols import twostep_task_factory
+from repro.protocols.selection import select_value
+from repro.sim import synchronous_run
+
+
+def bench_full_consensus_run(benchmark):
+    """One complete synchronous consensus run, fast path, n = 6."""
+    f = e = 2
+    n = 6
+    proposals = {pid: 100 + pid for pid in range(n)}
+    factory = twostep_task_factory(
+        proposals, f, e, omega_factory=lowest_correct_omega_factory(set())
+    )
+
+    def run():
+        return synchronous_run(
+            factory, n, prefer=n - 1, proposals=proposals, horizon_rounds=5
+        )
+
+    result = benchmark(run)
+    assert result.decided_values() == {105}
+
+
+def bench_event_throughput(benchmark):
+    """Raw DES event handling: a ping-storm of ~3k events."""
+    from dataclasses import dataclass
+
+    from repro.core import Context, Message, Process
+    from repro.sim import FixedLatency, Simulation
+
+    @dataclass(frozen=True)
+    class Ping(Message):
+        hop: int
+
+    class Pinger(Process):
+        def on_start(self, ctx: Context) -> None:
+            ctx.broadcast(Ping(0))
+
+        def on_message(self, ctx: Context, sender, message) -> None:
+            if message.hop < 20:
+                ctx.send(sender, Ping(message.hop + 1))
+
+    def run():
+        sim = Simulation(lambda pid, n: Pinger(pid, n), 8, latency=FixedLatency(1.0))
+        return sim.run()
+
+    result = benchmark(run)
+    assert result.message_count() > 1000
+
+
+def bench_selection_rule(benchmark):
+    """The 1B selection rule over a prepared batch of 100 quorums."""
+    rng = random.Random(1)
+    n, f, e = 9, 3, 3
+    batch = [
+        random_fast_decision_reports(rng, n, f, e, False)[0] for _ in range(100)
+    ]
+
+    def run():
+        return [select_value(reports, n, f, e, own_initial=BOTTOM) for reports in batch]
+
+    results = benchmark(run)
+    assert len(results) == 100

@@ -1,0 +1,52 @@
+"""Verification tooling benchmarks (not a paper experiment).
+
+Times the heavyweight correctness machinery so regressions are visible:
+the bounded exhaustive explorer (states/second and a full exhaustive
+proof), the Appendix B witnesses, and the Definition 4 checker.
+"""
+
+from repro.bounds import object_lower_bound_witness, task_lower_bound_witness
+from repro.checks import check_task_two_step, twostep_task_builder
+from repro.checks.explore import explore
+from repro.omega import static_omega_factory
+from repro.protocols import twostep_task_factory
+
+from conftest import emit
+
+
+def bench_explorer_exhaustive_fast_path(once):
+    """Exhaustive proof: every schedule of the n=3 fast path is safe."""
+    proposals = {0: 1, 1: 0, 2: 0}
+    factory = twostep_task_factory(
+        proposals, 1, 1, omega_factory=static_omega_factory(0)
+    )
+    report = once(
+        explore, factory, 3, 1, proposals=proposals, timer_fires=0
+    )
+    emit("verification_explorer", report.describe())
+    assert report.safe and report.exhaustive
+    assert report.states_visited > 1000
+
+
+def bench_task_witness(once):
+    """The full Appendix B.1 construction (both splices + continuations)."""
+    result = once(task_lower_bound_witness, 3, 3)
+    assert result.violation_found
+
+
+def bench_object_witness(once):
+    """The full Appendix B.2 construction."""
+    result = once(object_lower_bound_witness, 3, 3)
+    assert result.violation_found
+
+
+def bench_definition4_checker(once):
+    """Definition 4 over every faulty set and 16 configurations (n=6)."""
+    report = once(
+        check_task_two_step,
+        twostep_task_builder(2, 2),
+        6,
+        2,
+        max_configurations=16,
+    )
+    assert report.satisfied

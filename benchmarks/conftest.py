@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment of DESIGN.md's per-experiment
+index (E1–E10), prints the resulting table (visible with ``-s``; always
+recorded into ``benchmarks/results/``), asserts the *shape* the paper
+claims, and reports wall-clock timing through pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it for EXPERIMENTS.md bookkeeping."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (experiments are seconds-
+    scale; statistical rounds would multiply runtime for no insight)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,145 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # what can be run
+    python -m repro bounds               # E1 — the bounds table
+    python -m repro witness task 2 2     # Appendix B.1 below Theorem 5
+    python -m repro witness object 3 3   # Appendix B.2 below Theorem 6
+    python -m repro experiment e5        # any of e1..e10
+    python -m repro all                  # everything (a few minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .analysis import (
+    e1_bounds_rows,
+    e2_feasibility_rows,
+    e3_two_step_coverage_rows,
+    e4_latency_vs_conflict_rows,
+    e5_wan_rows,
+    e6_recovery_rows,
+    e7_message_rows,
+    e8_epaxos_rows,
+    e9_ablation_rows,
+    e9_liveness_completion_demo,
+    e10_smr_rows,
+    render_records,
+)
+from .bounds import object_lower_bound_witness, task_lower_bound_witness
+
+_EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "e1": lambda: render_records(e1_bounds_rows(5), title="E1 — bounds"),
+    "e2": lambda: render_records(e2_feasibility_rows(), title="E2 — feasibility"),
+    "e3": lambda: render_records(
+        e3_two_step_coverage_rows(), title="E3 — two-step coverage", float_digits=2
+    ),
+    "e4": lambda: render_records(
+        e4_latency_vs_conflict_rows(), title="E4 — latency vs conflict", float_digits=2
+    ),
+    "e5": lambda: render_records(e5_wan_rows(), title="E5 — WAN latency (ms)"),
+    "e6": lambda: render_records(e6_recovery_rows(), title="E6 — recovery"),
+    "e7": lambda: render_records(e7_message_rows(), title="E7 — messages"),
+    "e8": lambda: render_records(
+        e8_epaxos_rows(), title="E8 — EPaxos", float_digits=2
+    ),
+    "e9": lambda: render_records(e9_ablation_rows(), title="E9 — ablations")
+    + f"\nliveness demo: {e9_liveness_completion_demo()}",
+    "e10": lambda: render_records(e10_smr_rows(), title="E10 — SMR on WAN (ms)"),
+}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
+    print("witnesses:   witness task <f> <e> | witness object <f> <e>")
+    return 0
+
+
+def _cmd_bounds(_: argparse.Namespace) -> int:
+    print(_EXPERIMENTS["e1"]())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.name.lower()
+    if key not in _EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; try: {', '.join(sorted(_EXPERIMENTS))}")
+        return 2
+    print(_EXPERIMENTS[key]())
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    if args.kind == "task":
+        result = task_lower_bound_witness(args.f, args.e)
+    else:
+        result = object_lower_bound_witness(args.f, args.e)
+    print(result.describe())
+    return 0 if result.violation_found else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    text = generate_report(quick=args.quick)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for key in sorted(_EXPERIMENTS, key=lambda k: int(k[1:])):
+        print(_EXPERIMENTS[key]())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'Revisiting Lower Bounds for Two-Step Consensus' (PODC 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments").set_defaults(fn=_cmd_list)
+    sub.add_parser("bounds", help="print the E1 bounds table").set_defaults(fn=_cmd_bounds)
+    exp = sub.add_parser("experiment", help="run one experiment (e1..e10)")
+    exp.add_argument("name")
+    exp.set_defaults(fn=_cmd_experiment)
+    wit = sub.add_parser("witness", help="execute an Appendix B lower-bound witness")
+    wit.add_argument("kind", choices=["task", "object"])
+    wit.add_argument("f", type=int)
+    wit.add_argument("e", type=int)
+    wit.set_defaults(fn=_cmd_witness)
+    sub.add_parser("all", help="run every experiment").set_defaults(fn=_cmd_all)
+    rep = sub.add_parser(
+        "report", help="generate the full markdown reproduction report"
+    )
+    rep.add_argument("--output", "-o", default=None, help="write to a file")
+    rep.add_argument("--quick", action="store_true", help="trimmed trial counts")
+    rep.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Small statistics helpers for latency data (no numpy dependency needed).
+
+Benchmarks report latency distributions; this module provides the usual
+summary: mean, min/max, and interpolated percentiles, plus a compact
+dataclass the table renderer knows how to format.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty data")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty data")
+    return sum(values) / len(values)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary of a latency (or any scalar) sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def format(self, digits: int = 1) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.{digits}f} "
+            f"min={self.minimum:.{digits}f} p50={self.p50:.{digits}f} "
+            f"p95={self.p95:.{digits}f} p99={self.p99:.{digits}f} "
+            f"max={self.maximum:.{digits}f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Optional[Summary]:
+    """Summarize a sample; ``None`` for an empty one."""
+    data: List[float] = [float(v) for v in values]
+    if not data:
+        return None
+    return Summary(
+        count=len(data),
+        mean=mean(data),
+        minimum=min(data),
+        p50=percentile(data, 50),
+        p95=percentile(data, 95),
+        p99=percentile(data, 99),
+        maximum=max(data),
+    )
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio used for speedup factors in experiment tables."""
+    if denominator == 0:
+        return math.inf if numerator > 0 else 1.0
+    return numerator / denominator

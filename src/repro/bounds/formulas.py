@@ -1,0 +1,169 @@
+"""The bound formulas of the paper and its related work (experiment E1).
+
+Everything here is closed-form; the point of the module is to give the
+bounds one authoritative, documented, heavily-tested home that the
+feasibility experiments (E2) and the bounds table (E1) draw from.
+
+===========================  =============================  ==============
+Definition                   Minimal processes              Source
+===========================  =============================  ==============
+plain f-resilient consensus  ``2f + 1``                     DLS 1988
+Lamport fast consensus       ``max{2e + f + 1, 2f + 1}``    Lamport 2006b
+e-two-step consensus task    ``max{2e + f,     2f + 1}``    Theorem 5
+e-two-step consensus object  ``max{2e + f - 1, 2f + 1}``    Theorem 6
+fast Byzantine consensus     ``3f + 2e - 1``                Kuznetsov 2021
+===========================  =============================  ==============
+
+The EPaxos data point that motivates the paper: at ``n = 2f + 1`` and
+``e = ceil((f+1)/2)`` we get ``2e + f - 1 = 2f + 1 <= n``, so the object
+bound *admits* EPaxos-style protocols, while Lamport's bound would demand
+``2e + f + 1 = 2f + 3`` processes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..core.errors import ConfigurationError
+
+
+def _validate(f: int, e: int) -> None:
+    if f < 0:
+        raise ConfigurationError(f"f must be non-negative, got {f}")
+    if not 0 <= e <= f:
+        raise ConfigurationError(f"need 0 <= e <= f, got e={e}, f={f}")
+
+
+def min_processes_consensus(f: int) -> int:
+    """Plain partially synchronous consensus: ``2f + 1`` (DLS 1988)."""
+    if f < 0:
+        raise ConfigurationError(f"f must be non-negative, got {f}")
+    return 2 * f + 1
+
+
+def min_processes_lamport_fast(f: int, e: int) -> int:
+    """Lamport's fast-consensus bound: ``max{2e + f + 1, 2f + 1}``."""
+    _validate(f, e)
+    return max(2 * e + f + 1, 2 * f + 1)
+
+
+def min_processes_task(f: int, e: int) -> int:
+    """Theorem 5: e-two-step consensus *task* needs ``max{2e + f, 2f + 1}``."""
+    _validate(f, e)
+    return max(2 * e + f, 2 * f + 1)
+
+
+def min_processes_object(f: int, e: int) -> int:
+    """Theorem 6: e-two-step consensus *object* needs ``max{2e+f-1, 2f+1}``."""
+    _validate(f, e)
+    return max(2 * e + f - 1, 2 * f + 1)
+
+
+def min_processes_byzantine_fast(f: int, e: int) -> int:
+    """Kuznetsov et al. 2021: fast Byzantine consensus needs ``3f + 2e - 1``.
+
+    Included for the related-work row of the bounds table; nothing else in
+    the library exercises Byzantine failures.
+    """
+    _validate(f, e)
+    if e < 1:
+        raise ConfigurationError("the Byzantine bound is stated for e >= 1")
+    return 3 * f + 2 * e - 1
+
+
+def epaxos_fast_threshold(f: int) -> int:
+    """The ``e`` EPaxos sustains at ``n = 2f + 1``: ``ceil((f + 1) / 2)``.
+
+    For even ``f`` this gives ``2e = f + 2``, so ``2f + 1 = 2e + f - 1``
+    exactly — EPaxos sits *on* the paper's object bound while Lamport's
+    bound would demand ``2e + f + 1 = 2f + 3`` processes (the intro's
+    arithmetic). For odd ``f``, ``2e + f - 1 = 2f < 2f + 1``, so the
+    binding term is ``2f + 1`` and EPaxos again fits. Either way the new
+    bounds admit EPaxos where the classical one seemingly forbids it.
+    """
+    if f < 0:
+        raise ConfigurationError(f"f must be non-negative, got {f}")
+    return math.ceil((f + 1) / 2)
+
+
+def max_e_task(n: int, f: int) -> int:
+    """Largest ``e`` an n-process task protocol can sustain: from Thm 5."""
+    if n < min_processes_consensus(f):
+        raise ConfigurationError(f"n={n} cannot even tolerate f={f}")
+    return min(f, (n - f) // 2)
+
+
+def max_e_object(n: int, f: int) -> int:
+    """Largest ``e`` an n-process object protocol can sustain: from Thm 6."""
+    if n < min_processes_consensus(f):
+        raise ConfigurationError(f"n={n} cannot even tolerate f={f}")
+    return min(f, (n - f + 1) // 2)
+
+
+def max_e_lamport(n: int, f: int) -> int:
+    """Largest ``e`` under Lamport's definition (Fast Paxos)."""
+    if n < min_processes_consensus(f):
+        raise ConfigurationError(f"n={n} cannot even tolerate f={f}")
+    return min(f, (n - f - 1) // 2)
+
+
+@dataclass(frozen=True)
+class BoundRow:
+    """One row of the E1 bounds table."""
+
+    f: int
+    e: int
+    consensus: int
+    lamport_fast: int
+    task: int
+    object_: int
+
+    @property
+    def savings_task(self) -> int:
+        """Processes saved by Theorem 5 over Lamport's bound."""
+        return self.lamport_fast - self.task
+
+    @property
+    def savings_object(self) -> int:
+        """Processes saved by Theorem 6 over Lamport's bound."""
+        return self.lamport_fast - self.object_
+
+
+def bounds_table(max_f: int) -> List[BoundRow]:
+    """The E1 table over the grid ``1 <= f <= max_f``, ``1 <= e <= f``."""
+    rows = []
+    for f in range(1, max_f + 1):
+        for e in range(1, f + 1):
+            rows.append(
+                BoundRow(
+                    f=f,
+                    e=e,
+                    consensus=min_processes_consensus(f),
+                    lamport_fast=min_processes_lamport_fast(f, e),
+                    task=min_processes_task(f, e),
+                    object_=min_processes_object(f, e),
+                )
+            )
+    return rows
+
+
+def interesting_configurations(max_f: int) -> Iterator[dict]:
+    """Configurations where the new bounds bite (fast term dominates).
+
+    Yields dicts with ``f``, ``e``, and the three fast bounds, restricted
+    to grid points where ``2e + f - 1 > 2f + 1`` would fail to hold for
+    trivial reasons — i.e. where lowering the bound changes the actual
+    system size a deployment needs.
+    """
+    for row in bounds_table(max_f):
+        if row.task != row.consensus or row.object_ != row.consensus:
+            if row.lamport_fast > row.consensus:
+                yield {
+                    "f": row.f,
+                    "e": row.e,
+                    "lamport": row.lamport_fast,
+                    "task": row.task,
+                    "object": row.object_,
+                }

@@ -1,0 +1,159 @@
+"""Randomized adversarial schedule search (experiment E2's fuzzing arm).
+
+Complements the structured Appendix B witnesses with a blunt instrument:
+random asynchronous schedules with random crashes within the budget,
+checked against Agreement and Validity. Above the bounds this is a safety
+fuzzer — the test suite asserts thousands of schedules find nothing. Below
+the bounds it occasionally stumbles on the same violations the structured
+witnesses construct deliberately (the structured ones remain the
+authoritative artifact; a fuzzer's silence proves nothing).
+
+The schedule generator biases toward the shapes that break fast consensus:
+it likes delivering proposal messages to partial audiences, crashing
+proposers right after their fast decision, and firing ballot timers early.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from ..core.process import ProcessFactory, ProcessId
+from ..core.runs import Run
+from ..core.specs import Violation, check_agreement, check_validity
+from ..core.values import MaybeValue
+from ..sim.arena import Arena
+
+
+@dataclass
+class FuzzResult:
+    """Aggregate of a fuzzing campaign."""
+
+    schedules_run: int
+    violating_seeds: List[int] = field(default_factory=list)
+    first_violation: Optional[List[Violation]] = None
+    first_violating_run: Optional[Run] = None
+
+    @property
+    def found_violation(self) -> bool:
+        return bool(self.violating_seeds)
+
+
+def random_adversarial_run(
+    factory: ProcessFactory,
+    n: int,
+    f: int,
+    seed: int,
+    proposals: Optional[Mapping[ProcessId, MaybeValue]] = None,
+    injections: Optional[Mapping[ProcessId, object]] = None,
+    steps: int = 400,
+) -> Run:
+    """One random adversarial schedule.
+
+    Starts processes in random order, then repeatedly picks among:
+    deliver a random pending message (weight 6), fire a random armed
+    timer (weight 2), crash a random live process while the budget allows
+    (weight 1). *injections* maps pids to client messages (object
+    protocols) delivered at random times.
+    """
+    rng = random.Random(seed)
+    arena = Arena(factory, n, proposals=proposals)
+    order = list(range(n))
+    rng.shuffle(order)
+    for pid in order:
+        arena.start(pid)
+    pending_injections = [
+        (pid, message) for pid, message in (injections or {}).items()
+    ]
+    rng.shuffle(pending_injections)
+    for pid, message in (injections or {}).items():
+        arena.run_record.proposals[pid] = getattr(message, "value", None)
+
+    crashes_left = f
+    for _ in range(steps):
+        actions: List[Callable[[], None]] = []
+        weights: List[int] = []
+
+        if pending_injections:
+            def do_inject() -> None:
+                pid, message = pending_injections.pop()
+                if pid not in arena.crashed:
+                    uid = arena.inject(pid, message)
+                    arena.deliver(arena.pending[uid])
+
+            actions.append(do_inject)
+            weights.append(4)
+
+        deliverable = arena.pending_messages()
+        if deliverable:
+            def do_deliver() -> None:
+                pm = rng.choice(deliverable)
+                if pm.uid in arena.pending and pm.receiver not in arena.crashed:
+                    arena.deliver(pm)
+
+            actions.append(do_deliver)
+            weights.append(6)
+
+        armed = [t for t in arena.timers() if t[0] not in arena.crashed]
+        if armed:
+            def do_fire() -> None:
+                pid, name, _ = rng.choice(armed)
+                if (pid, name) in {(a, b) for a, b, _ in arena.timers()}:
+                    arena.fire_timer(pid, name)
+
+            actions.append(do_fire)
+            weights.append(2)
+
+        live = sorted(set(range(n)) - arena.crashed)
+        if crashes_left > 0 and len(live) > 1:
+            def do_crash() -> None:
+                nonlocal crashes_left
+                arena.crash(rng.choice(live))
+                crashes_left -= 1
+
+            actions.append(do_crash)
+            weights.append(1)
+
+        if not actions:
+            break
+        rng.choices(actions, weights=weights, k=1)[0]()
+
+    return arena.run_record
+
+
+def fuzz_safety(
+    factory_for_seed: Callable[[int], ProcessFactory],
+    n: int,
+    f: int,
+    seeds: Sequence[int],
+    proposals: Optional[Mapping[ProcessId, MaybeValue]] = None,
+    injections_for_seed: Optional[Callable[[int], Mapping[ProcessId, object]]] = None,
+    steps: int = 400,
+) -> FuzzResult:
+    """Run many random schedules; collect agreement/validity violations.
+
+    *factory_for_seed* rebuilds a fresh factory per schedule (process state
+    must not leak between runs). Termination is deliberately not checked:
+    random schedules are not fair.
+    """
+    result = FuzzResult(schedules_run=0)
+    for seed in seeds:
+        injections = injections_for_seed(seed) if injections_for_seed else None
+        run = random_adversarial_run(
+            factory_for_seed(seed),
+            n,
+            f,
+            seed,
+            proposals=proposals,
+            injections=injections,
+            steps=steps,
+        )
+        result.schedules_run += 1
+        violations = check_agreement(run) + check_validity(run)
+        if violations:
+            result.violating_seeds.append(seed)
+            if result.first_violation is None:
+                result.first_violation = violations
+                result.first_violating_run = run
+    return result

@@ -1,0 +1,45 @@
+"""Executable definitions, specification batteries, and the explorer."""
+
+from .explore import Action, ExplorationReport, explore
+from .builders import (
+    fast_paxos_builder,
+    paxos_builder,
+    twostep_object_builder,
+    twostep_task_builder,
+)
+from .consensus import (
+    ScenarioResult,
+    consensus_battery,
+    crash_scenarios,
+    failing_scenarios,
+    run_scenario,
+    shuffled_delivery,
+)
+from .two_step import (
+    ObjectFactoryBuilder,
+    TaskFactoryBuilder,
+    TwoStepReport,
+    check_object_two_step,
+    check_task_two_step,
+)
+
+__all__ = [
+    "Action",
+    "ExplorationReport",
+    "ObjectFactoryBuilder",
+    "ScenarioResult",
+    "TaskFactoryBuilder",
+    "TwoStepReport",
+    "check_object_two_step",
+    "check_task_two_step",
+    "consensus_battery",
+    "crash_scenarios",
+    "explore",
+    "failing_scenarios",
+    "fast_paxos_builder",
+    "paxos_builder",
+    "run_scenario",
+    "shuffled_delivery",
+    "twostep_object_builder",
+    "twostep_task_builder",
+]

@@ -1,0 +1,324 @@
+"""Bounded exhaustive state-space exploration (a miniature model checker).
+
+Random schedules (``repro.bounds.search``) and hypothesis-driven schedules
+(the property tests) sample the adversary; this module *enumerates* it:
+starting from the initial configuration it explores every reachable state
+under all interleavings of
+
+* delivering any in-flight message,
+* firing any armed timer (asynchrony lets a timer fire at any moment), and
+* crashing any live process while the budget lasts,
+
+checking Agreement and Validity in every state. States are canonicalized
+(process snapshots with order-insensitive collections, the in-flight
+message multiset, the crash set, armed timer names) so the search visits
+each distinct global state once.
+
+Exhaustiveness requires finite state spaces, so two bounds apply:
+
+* ``ballot_bound`` prunes states where any process advanced past a given
+  ballot — the protocols generate unboundedly many ballots, but safety
+  violations, if any, manifest within the first few (the Appendix B
+  violations need exactly one slow ballot);
+* ``max_states`` aborts gracefully (reported as non-exhaustive) if the
+  space is larger than the caller budgeted.
+
+Within those bounds a clean report is a *proof* of safety for the given
+configuration, not a statistical claim — the strongest form of evidence
+this library offers below a paper proof.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import SchedulerError
+from ..core.messages import Message
+from ..core.process import CLIENT, Context, Process, ProcessFactory, ProcessId
+from ..core.values import BOTTOM, MaybeValue, is_bottom
+
+
+def _canonical(value) -> object:
+    """Order-insensitive, hashable rendering of protocol state."""
+    if isinstance(value, dict):
+        return tuple(
+            sorted((repr(_canonical(k)), _canonical(v)) for k, v in value.items())
+        )
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(_canonical(v)) for v in value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return repr(value)
+
+
+class _World:
+    """One global state: processes + in-flight messages + timers + crashes."""
+
+    def __init__(self, processes: List[Process]) -> None:
+        self.processes = processes
+        self.pending: List[Tuple[ProcessId, ProcessId, Message]] = []
+        self.timers: Set[Tuple[ProcessId, str]] = set()
+        self.crashed: Set[ProcessId] = set()
+        self.decisions: Dict[ProcessId, MaybeValue] = {}
+        self.timer_fires_left: Dict[ProcessId, int] = {}
+
+    def fork(self) -> "_World":
+        twin = _World.__new__(_World)
+        twin.processes = [
+            process.clone() if hasattr(process, "clone") else copy.deepcopy(process)
+            for process in self.processes
+        ]
+        twin.pending = list(self.pending)  # message tuples are immutable
+        twin.timers = set(self.timers)
+        twin.crashed = set(self.crashed)
+        twin.decisions = dict(self.decisions)
+        twin.timer_fires_left = dict(self.timer_fires_left)
+        return twin
+
+    def signature(self) -> Tuple:
+        return (
+            tuple(_canonical(process.snapshot()) for process in self.processes),
+            tuple(sorted(repr((s, r, m.describe())) for s, r, m in self.pending)),
+            tuple(sorted(self.timers)),
+            tuple(sorted(self.crashed)),
+            tuple(sorted((p, repr(v)) for p, v in self.decisions.items())),
+            tuple(sorted(self.timer_fires_left.items())),
+        )
+
+
+class _WorldContext(Context):
+    def __init__(self, world: _World, pid: ProcessId) -> None:
+        self._world = world
+        self._pid = pid
+
+    @property
+    def now(self) -> float:
+        return 0.0  # exploration is untimed; asynchrony erases the clock
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    @property
+    def n(self) -> int:
+        return len(self._world.processes)
+
+    def send(self, dst: ProcessId, message: Message) -> None:
+        if dst in self._world.crashed:
+            return
+        self._world.pending.append((self._pid, dst, message))
+
+    def set_timer(self, name: str, delay: float) -> None:
+        self._world.timers.add((self._pid, name))
+
+    def cancel_timer(self, name: str) -> None:
+        self._world.timers.discard((self._pid, name))
+
+    def decide(self, value: MaybeValue) -> None:
+        previous = self._world.decisions.get(self._pid)
+        if previous is None:
+            self._world.decisions[self._pid] = value
+
+
+@dataclass(frozen=True)
+class Action:
+    """One adversary move; the ``detail`` renders the counterexample."""
+
+    kind: str  # "deliver" | "fire" | "crash"
+    detail: str
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of a bounded exhaustive exploration."""
+
+    states_visited: int
+    exhaustive: bool
+    violation: Optional[str] = None
+    counterexample: List[Action] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return self.violation is None
+
+    def describe(self) -> str:
+        status = "SAFE" if self.safe else f"VIOLATION: {self.violation}"
+        if not self.safe:
+            scope = "stopped at first violation"
+        elif self.exhaustive:
+            scope = "exhaustive"
+        else:
+            scope = "bounded (state cap hit)"
+        lines = [f"{status} — {self.states_visited} states, {scope}"]
+        for action in self.counterexample:
+            lines.append(f"  {action.kind}: {action.detail}")
+        return "\n".join(lines)
+
+
+def _ballot_of(process: Process) -> int:
+    return getattr(process, "bal", getattr(process, "ballot", 0))
+
+
+def _apply_prefix_step(world: _World, step: Tuple[str, Tuple]) -> None:
+    """Execute one scripted prefix step (see :func:`explore`)."""
+    kind, payload = step
+    if kind == "deliver":
+        sender, receiver, message_kind = payload
+        for index, (s, r, m) in enumerate(world.pending):
+            if (
+                (sender is None or s == sender)
+                and (receiver is None or r == receiver)
+                and (message_kind is None or type(m).__name__ == message_kind)
+            ):
+                world.pending.pop(index)
+                world.processes[r].on_message(_WorldContext(world, r), s, m)
+                return
+        raise SchedulerError(f"prefix step matched no pending message: {step}")
+    if kind == "fire":
+        pid, name = payload
+        if (pid, name) not in world.timers:
+            raise SchedulerError(f"prefix step names unarmed timer: {step}")
+        world.timers.discard((pid, name))
+        world.processes[pid].on_timer(_WorldContext(world, pid), name)
+        return
+    raise SchedulerError(f"unknown prefix step kind {kind!r}")
+
+
+def explore(
+    factory: ProcessFactory,
+    n: int,
+    f: int,
+    proposals: Optional[Mapping[ProcessId, MaybeValue]] = None,
+    injections: Optional[Sequence[Tuple[ProcessId, Message]]] = None,
+    ballot_bound: int = 12,
+    max_states: int = 200_000,
+    max_crashes: Optional[int] = None,
+    timer_fires: int = 2,
+    prefix: Optional[Sequence[Tuple[str, Tuple]]] = None,
+) -> ExplorationReport:
+    """Exhaustively explore all schedules; see the module docstring.
+
+    *proposals* is validity metadata (allowed decision values);
+    *injections* are client messages delivered up-front (the object
+    formulation's ``propose`` calls). ``max_crashes`` defaults to ``f``.
+    ``timer_fires`` bounds the *total* timer expirations per schedule —
+    each expiry can open a new ballot, and unbounded ballots mean an
+    unbounded state space; safety violations surface within the first
+    couple (Appendix B needs exactly one).
+    """
+    allowed = {v for v in (proposals or {}).values() if not is_bottom(v)}
+    allowed |= {
+        getattr(message, "value")
+        for _, message in (injections or [])
+        if hasattr(message, "value")
+    }
+    budget = 0 if max_crashes is None else max_crashes
+
+    root = _World([factory(pid, n) for pid in range(n)])
+    root.timer_fires_left = {pid: timer_fires for pid in range(n)}
+    for pid in range(n):
+        root.processes[pid].on_start(_WorldContext(root, pid))
+    for pid, message in injections or []:
+        root.processes[pid].on_message(_WorldContext(root, pid), CLIENT, message)
+    for step in prefix or []:
+        _apply_prefix_step(root, step)
+
+    visited: Set[Tuple] = {root.signature()}
+    # DFS stack: (world, action-trail). Deduplication happens at *push*
+    # time (children whose signature was already seen are never stacked),
+    # keeping the stack linear in the number of distinct states rather
+    # than in the number of edges.
+    stack: List[Tuple[_World, Tuple[Action, ...]]] = [(root, ())]
+    states = 0
+
+    while stack:
+        world, trail = stack.pop()
+        states += 1
+        if states > max_states:
+            return ExplorationReport(states_visited=states - 1, exhaustive=False)
+
+        # --- safety checks ---
+        decided_values = {repr(v): v for v in world.decisions.values()}
+        if len(decided_values) > 1:
+            return ExplorationReport(
+                states_visited=states,
+                exhaustive=False,
+                violation=f"agreement: decisions {sorted(decided_values)}",
+                counterexample=list(trail),
+            )
+        if allowed:
+            for pid, value in world.decisions.items():
+                if value not in allowed:
+                    return ExplorationReport(
+                        states_visited=states,
+                        exhaustive=False,
+                        violation=f"validity: p{pid} decided {value!r}",
+                        counterexample=list(trail),
+                    )
+
+        # --- ballot pruning ---
+        if any(_ballot_of(p) > ballot_bound for p in world.processes):
+            continue
+
+        # --- expansion (full, sound) ---
+        # Every enabled action branches. A per-process partial-order
+        # reduction was evaluated and removed: delivery order *to the same
+        # process* is semantically significant here (the recovery quorum
+        # freezes the first n-f 1B reports), and future messages to any
+        # process can always be generated by others, so cheap persistent
+        # sets are unsound — they steer the search away from exactly the
+        # reorderings the lower-bound violations live in. Exhaustiveness
+        # is paid for with small configurations instead.
+        children: List[Tuple[_World, Action]] = []
+
+        seen_payloads = set()
+        for index, (sender, receiver, message) in enumerate(world.pending):
+            if receiver in world.crashed:
+                continue
+            payload = (sender, receiver, message)
+            if payload in seen_payloads:
+                continue
+            seen_payloads.add(payload)
+            child = world.fork()
+            s_, r_, m_ = child.pending.pop(index)
+            child.processes[r_].on_message(_WorldContext(child, r_), s_, m_)
+            children.append(
+                (child, Action("deliver", f"p{s_}->p{r_}: {m_.describe()}"))
+            )
+
+        for pid, name in sorted(world.timers):
+            if pid in world.crashed or world.timer_fires_left.get(pid, 0) <= 0:
+                continue
+            child = world.fork()
+            child.timer_fires_left[pid] -= 1
+            child.timers.discard((pid, name))
+            child.processes[pid].on_timer(_WorldContext(child, pid), name)
+            children.append((child, Action("fire", f"p{pid}: {name}")))
+
+        for child, action in children:
+            child_signature = child.signature()
+            if child_signature in visited:
+                continue
+            visited.add(child_signature)
+            stack.append((child, trail + (action,)))
+
+        # --- expand: crashes ---
+        if len(world.crashed) < budget:
+            for pid in range(n):
+                if pid in world.crashed:
+                    continue
+                child = world.fork()
+                child.crashed.add(pid)
+                child.pending = [
+                    (s_, r_, m_) for s_, r_, m_ in child.pending if r_ != pid
+                ]
+                child.timers = {(p, nm) for p, nm in child.timers if p != pid}
+                child_signature = child.signature()
+                if child_signature in visited:
+                    continue
+                visited.add(child_signature)
+                stack.append((child, trail + (Action("crash", f"p{pid}"),)))
+
+    return ExplorationReport(states_visited=states, exhaustive=True)

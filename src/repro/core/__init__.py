@@ -1,0 +1,110 @@
+"""Core abstractions: values, messages, processes, runs, quorums, specs.
+
+This package is dependency-free within the library (nothing here imports
+:mod:`repro.sim` or :mod:`repro.protocols`); every other package builds on
+it.
+"""
+
+from .errors import (
+    ConfigurationError,
+    HistoryError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    SpecViolationError,
+)
+from .linearizability import (
+    History,
+    Operation,
+    check_linearizable,
+    is_linearizable,
+    linearizable_bruteforce,
+)
+from .messages import Message, message_sort_key
+from .process import CLIENT, Context, Process, ProcessFactory, ProcessId
+from .quorums import (
+    classic_quorum_size,
+    classic_quorums_intersect,
+    fast_classic_intersect_two,
+    fast_quorum_size,
+    fast_survivors_lower_bound,
+    is_classic_quorum,
+    is_fast_quorum,
+    recovery_threshold,
+    validate_resilience,
+)
+from .runs import (
+    CrashRecord,
+    DecideRecord,
+    DeliverRecord,
+    ProposeRecord,
+    Record,
+    Run,
+    SendRecord,
+    TimerFiredRecord,
+    TimerSetRecord,
+)
+from .specs import (
+    Violation,
+    check_agreement,
+    check_consensus,
+    check_termination,
+    check_validity,
+    decided_value_or_none,
+    require_agreement,
+    require_consensus,
+)
+from .values import BOTTOM, MaybeValue, Value, is_bottom, max_value, require_comparable
+
+__all__ = [
+    "BOTTOM",
+    "CLIENT",
+    "ConfigurationError",
+    "Context",
+    "CrashRecord",
+    "DecideRecord",
+    "DeliverRecord",
+    "History",
+    "HistoryError",
+    "Message",
+    "MaybeValue",
+    "Operation",
+    "Process",
+    "ProcessFactory",
+    "ProcessId",
+    "ProposeRecord",
+    "ProtocolError",
+    "Record",
+    "ReproError",
+    "Run",
+    "SchedulerError",
+    "SendRecord",
+    "SpecViolationError",
+    "TimerFiredRecord",
+    "TimerSetRecord",
+    "Value",
+    "Violation",
+    "check_agreement",
+    "check_consensus",
+    "check_linearizable",
+    "check_termination",
+    "check_validity",
+    "classic_quorum_size",
+    "classic_quorums_intersect",
+    "decided_value_or_none",
+    "fast_classic_intersect_two",
+    "fast_quorum_size",
+    "fast_survivors_lower_bound",
+    "is_bottom",
+    "is_classic_quorum",
+    "is_fast_quorum",
+    "is_linearizable",
+    "linearizable_bruteforce",
+    "max_value",
+    "message_sort_key",
+    "recovery_threshold",
+    "require_agreement",
+    "require_comparable",
+    "require_consensus",
+    "validate_resilience",
+]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can distinguish failures of the library itself from ordinary Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulation or protocol is configured inconsistently.
+
+    Examples: a crash plan naming an unknown process, a protocol instantiated
+    with fewer processes than its quorum sizes allow, or a latency model with
+    a negative delay bound.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol implementation violates its own invariants.
+
+    This indicates a bug in the protocol code (for example deciding two
+    different values locally), not an expected run-time condition.
+    """
+
+
+class SchedulerError(ReproError):
+    """Raised on misuse of the discrete-event scheduler or the arena.
+
+    Examples: delivering a message that was never sent, stepping a crashed
+    process, or advancing time backwards.
+    """
+
+
+class SpecViolationError(ReproError):
+    """Raised by checkers asked to *assert* a specification that is violated.
+
+    Most checkers in :mod:`repro.core.specs` return structured violation
+    reports; this exception is used by their ``require_*`` variants.
+    """
+
+
+class HistoryError(ReproError):
+    """Raised when an operation history is malformed.
+
+    Examples: a response without a matching invocation, or overlapping
+    operations attributed to the same sequential client.
+    """

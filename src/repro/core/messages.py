@@ -1,0 +1,51 @@
+"""Message base class and common message utilities.
+
+Each protocol defines its own message vocabulary as frozen dataclasses
+deriving from :class:`Message`. Freezing keeps runs deterministic and lets
+traces be hashed and compared, which the run-splicing machinery in
+:mod:`repro.bounds` depends on: two runs are indistinguishable to a process
+exactly when it receives *equal* messages in the same order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for every protocol message.
+
+    Subclasses are frozen dataclasses; all fields must themselves be
+    hashable (values, ballots, process ids, tuples). A message carries no
+    addressing information — sender and receiver are part of the network
+    event, not the payload — which mirrors the paper's model where a process
+    reacts to "``2B(b, v)`` received from q".
+    """
+
+    @property
+    def kind(self) -> str:
+        """Short name of the message type, e.g. ``"TwoB"``."""
+        return type(self).__name__
+
+    def fields(self) -> Dict[str, Any]:
+        """Return the payload as an ordered field-name to value mapping."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering used by traces and examples."""
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields().items())
+        return f"{self.kind}({inner})"
+
+
+def message_sort_key(message: Message) -> Tuple[str, str]:
+    """A deterministic ordering key for messages of mixed types.
+
+    Used by schedulers that must order same-timestamp deliveries in a
+    reproducible way: first by message kind, then by the repr of the
+    payload. The ordering is arbitrary but stable across runs and Python
+    processes, which is all determinism requires.
+    """
+    return (message.kind, repr(message.fields()))

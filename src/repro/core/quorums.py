@@ -1,0 +1,113 @@
+"""Quorum arithmetic shared by every protocol in the library.
+
+The three protocol families use three quorum disciplines:
+
+* **Paxos** uses classic quorums of size ``n - f`` (any two intersect when
+  ``n >= 2f + 1``).
+* **Fast Paxos** additionally uses fast quorums of size ``n - e``; safety
+  of its recovery rule needs any two fast quorums and one classic quorum to
+  share a process, which holds iff ``n >= 2e + f + 1`` (Lamport's bound).
+* **Figure 1 of the paper** uses fast vote sets of size ``n - e``
+  *implicitly including the proposer* and recovers them from as few as
+  ``n - f - e`` surviving votes, which is why it lives at ``n >= 2e + f``
+  (task) or ``n >= 2e + f - 1`` (object).
+
+This module centralizes the sizes and the intersection predicates so that
+protocol code states intent (``classic_quorum_size(n, f)``) instead of
+sprinkling arithmetic, and so the predicates can be property-tested once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from .errors import ConfigurationError
+
+
+def validate_resilience(n: int, f: int, e: int) -> None:
+    """Validate a system configuration ``(n, f, e)``.
+
+    Requires ``n >= 1``, ``0 <= e <= f``, and ``n >= 2f + 1`` (the floor for
+    partially synchronous consensus regardless of fast paths). Protocols
+    with stricter requirements perform their own additional checks.
+    """
+    if n < 1:
+        raise ConfigurationError(f"system size must be positive, got n={n}")
+    if f < 0:
+        raise ConfigurationError(f"failure threshold must be non-negative, got f={f}")
+    if not 0 <= e <= f:
+        raise ConfigurationError(
+            f"fast threshold must satisfy 0 <= e <= f, got e={e}, f={f}"
+        )
+    if n < 2 * f + 1:
+        raise ConfigurationError(
+            f"partially synchronous consensus needs n >= 2f+1; got n={n}, f={f}"
+        )
+
+
+def classic_quorum_size(n: int, f: int) -> int:
+    """Size of a classic (slow-path) quorum: ``n - f``."""
+    return n - f
+
+
+def fast_quorum_size(n: int, e: int) -> int:
+    """Size of a fast-path vote set: ``n - e``.
+
+    In Figure 1 this count *implicitly includes the proposer* (line 16
+    checks ``|P ∪ {p_i}| >= n - e``), so a proposer needs only ``n - e - 1``
+    replies from other processes.
+    """
+    return n - e
+
+
+def recovery_threshold(n: int, f: int, e: int) -> int:
+    """Votes that must survive into a classic quorum: ``n - f - e``.
+
+    If a value was decided fast (``n - e`` votes), at least this many of
+    its voters appear in any classic quorum of ``n - f`` processes. Lines
+    54 and 57 of Figure 1 compare vote counts against this threshold.
+    """
+    return n - f - e
+
+
+def classic_quorums_intersect(n: int, f: int) -> bool:
+    """Do any two classic quorums share a process? ``n >= 2f + 1``."""
+    return 2 * classic_quorum_size(n, f) > n
+
+
+def fast_classic_intersect_two(n: int, f: int, e: int) -> bool:
+    """Do two fast quorums and one classic quorum share a process?
+
+    The Fast Paxos safety condition: ``2(n-e) + (n-f) - 2n >= 1``, i.e.
+    ``n >= 2e + f + 1``.
+    """
+    return 2 * fast_quorum_size(n, e) + classic_quorum_size(n, f) - 2 * n >= 1
+
+
+def fast_survivors_lower_bound(n: int, f: int, e: int) -> int:
+    """Minimum overlap between one fast vote set and one classic quorum.
+
+    ``(n - e) + (n - f) - n = n - e - f``; this is the guarantee Lemma 7
+    builds on, and equals :func:`recovery_threshold`.
+    """
+    return fast_quorum_size(n, e) + classic_quorum_size(n, f) - n
+
+
+def is_classic_quorum(quorum: Iterable[int], n: int, f: int) -> bool:
+    """Is the given process set a classic quorum of the ``n``-process system?"""
+    members = _checked_members(quorum, n)
+    return len(members) >= classic_quorum_size(n, f)
+
+
+def is_fast_quorum(quorum: Iterable[int], n: int, e: int) -> bool:
+    """Is the given process set a fast quorum of the ``n``-process system?"""
+    members = _checked_members(quorum, n)
+    return len(members) >= fast_quorum_size(n, e)
+
+
+def _checked_members(quorum: Iterable[int], n: int) -> Set[int]:
+    members = set(quorum)
+    for pid in members:
+        if not 0 <= pid < n:
+            raise ConfigurationError(f"pid {pid} out of range for n={n}")
+    return members

@@ -1,0 +1,121 @@
+"""Proposal values and the ``BOTTOM`` sentinel.
+
+The protocols in this library agree on *values*. Figure 1 of the paper
+requires values to be totally ordered: a process only accepts a
+``Propose(v)`` message when ``v >= initial_val`` (line 11), and the recovery
+rule breaks ties by picking the *maximal* value (line 58). The unset marker
+``BOTTOM`` (written :math:`\\bot` in the paper) compares strictly below every
+proper value, which is exactly the convention the object variant of the
+protocol relies on ("initially :math:`\\bot`, lower than any other value").
+
+Any Python type with a total order among the values actually proposed in a
+run (``int``, ``str``, tuples thereof, ...) can be used as a value type.
+``BOTTOM`` interoperates with all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Union
+
+
+class _Bottom:
+    """The unique unset-value sentinel, strictly smaller than everything.
+
+    The class implements the full set of rich comparisons so that protocol
+    code can write ``v >= self.initial_val`` without special-casing the
+    "no proposal yet" state. It is a singleton: ``_Bottom()`` always returns
+    the same object, and copying (including ``copy.deepcopy``) preserves
+    identity, so ``is BOTTOM`` checks are always safe.
+    """
+
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BOTTOM"
+
+    def __hash__(self) -> int:
+        return hash("repro.core.values.BOTTOM")
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __ne__(self, other: Any) -> bool:
+        return other is not self
+
+    def __lt__(self, other: Any) -> bool:
+        # BOTTOM is strictly below every non-BOTTOM value.
+        return other is not self
+
+    def __le__(self, other: Any) -> bool:
+        return True
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __ge__(self, other: Any) -> bool:
+        return other is self
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __copy__(self) -> "_Bottom":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "_Bottom":
+        return self
+
+    def __reduce__(self):
+        # Pickling round-trips to the singleton.
+        return (_Bottom, ())
+
+
+#: The unique "no value" sentinel (:math:`\bot` in the paper).
+BOTTOM = _Bottom()
+
+#: Type alias for anything a protocol may carry as a value, including BOTTOM.
+Value = Any
+MaybeValue = Union[Any, _Bottom]
+
+
+def is_bottom(value: MaybeValue) -> bool:
+    """Return ``True`` iff *value* is the ``BOTTOM`` sentinel."""
+    return value is BOTTOM
+
+
+def max_value(values: Iterable[MaybeValue]) -> MaybeValue:
+    """Return the maximum of *values*, treating ``BOTTOM`` as the minimum.
+
+    Returns ``BOTTOM`` when *values* is empty. This mirrors the tie-breaking
+    rule at line 58 of Figure 1, which selects the maximal value among
+    those with exactly ``n - f - e`` surviving votes.
+    """
+    best: MaybeValue = BOTTOM
+    for value in values:
+        if best < value:
+            best = value
+    return best
+
+
+def require_comparable(values: Iterable[MaybeValue]) -> None:
+    """Validate that all *values* are mutually comparable.
+
+    Raises ``TypeError`` with a descriptive message when two proposals
+    cannot be ordered (for example an ``int`` against a ``str``). The
+    protocols call this eagerly on configuration so that a bad value domain
+    fails fast instead of deep inside a message handler.
+    """
+    seen = [v for v in values if not is_bottom(v)]
+    for index, left in enumerate(seen):
+        for right in seen[index + 1:]:
+            try:
+                left < right  # noqa: B015 - evaluated for the side effect
+            except TypeError as exc:
+                raise TypeError(
+                    "proposal values must be totally ordered; cannot compare "
+                    f"{left!r} with {right!r}"
+                ) from exc

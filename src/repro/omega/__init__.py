@@ -1,0 +1,25 @@
+"""Ω eventual leader election (§C.1)."""
+
+from .leader import (
+    HEARTBEAT_TIMER,
+    Heartbeat,
+    HeartbeatOmega,
+    OmegaFactory,
+    OmegaService,
+    StaticOmega,
+    heartbeat_omega_factory,
+    lowest_correct_omega_factory,
+    static_omega_factory,
+)
+
+__all__ = [
+    "HEARTBEAT_TIMER",
+    "Heartbeat",
+    "HeartbeatOmega",
+    "OmegaFactory",
+    "OmegaService",
+    "StaticOmega",
+    "heartbeat_omega_factory",
+    "lowest_correct_omega_factory",
+    "static_omega_factory",
+]

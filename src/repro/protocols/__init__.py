@@ -1,0 +1,54 @@
+"""Consensus protocols: the paper's Figure 1 and every baseline it cites."""
+
+from .fast_paxos import (
+    FastPaxosProcess,
+    fast_paxos_factory,
+    fast_paxos_min_processes,
+)
+from .paxos import PaxosProcess, paxos_factory
+from .selection import (
+    PAPER_POLICY,
+    OneBReport,
+    SelectionPolicy,
+    fast_decision_recoverable,
+    select_value,
+)
+from .twostep import (
+    BALLOT_TIMER,
+    Decide,
+    OneA,
+    OneB,
+    Propose,
+    ProposeRequest,
+    TwoA,
+    TwoB,
+    TwoStepConfig,
+    TwoStepProcess,
+    twostep_object_factory,
+    twostep_task_factory,
+)
+
+__all__ = [
+    "BALLOT_TIMER",
+    "Decide",
+    "FastPaxosProcess",
+    "OneA",
+    "OneB",
+    "OneBReport",
+    "PAPER_POLICY",
+    "PaxosProcess",
+    "Propose",
+    "ProposeRequest",
+    "SelectionPolicy",
+    "TwoA",
+    "TwoB",
+    "TwoStepConfig",
+    "TwoStepProcess",
+    "fast_decision_recoverable",
+    "fast_paxos_factory",
+    "fast_paxos_min_processes",
+    "paxos_factory",
+    "select_value",
+    "twostep_object_factory",
+    "twostep_task_factory",
+]

@@ -1,0 +1,57 @@
+"""EPaxos-style leaderless SMR: the paper's motivating protocol."""
+
+from .deps import (
+    CommittedInstance,
+    InstanceId,
+    dependencies_closed,
+    execution_order,
+    tarjan_sccs,
+)
+from .messages import (
+    NOOP,
+    Accept,
+    AcceptOK,
+    Command,
+    Commit,
+    PreAccept,
+    PreAcceptOK,
+    Prepare,
+    PrepareOK,
+    Request,
+)
+from .replica import (
+    STATUS_ACCEPTED,
+    STATUS_COMMITTED,
+    STATUS_EXECUTED,
+    STATUS_NONE,
+    STATUS_PREACCEPTED,
+    EPaxosReplica,
+    epaxos_factory,
+    epaxos_fast_quorum,
+)
+
+__all__ = [
+    "Accept",
+    "AcceptOK",
+    "Command",
+    "Commit",
+    "CommittedInstance",
+    "EPaxosReplica",
+    "InstanceId",
+    "NOOP",
+    "PreAccept",
+    "PreAcceptOK",
+    "Prepare",
+    "PrepareOK",
+    "Request",
+    "STATUS_ACCEPTED",
+    "STATUS_COMMITTED",
+    "STATUS_EXECUTED",
+    "STATUS_NONE",
+    "STATUS_PREACCEPTED",
+    "dependencies_closed",
+    "epaxos_factory",
+    "epaxos_fast_quorum",
+    "execution_order",
+    "tarjan_sccs",
+]

@@ -1,0 +1,133 @@
+"""Dependency graphs and the EPaxos execution order.
+
+EPaxos commits commands together with a *dependency set* (the interfering
+instances known at commit time) and a *sequence number* (one more than the
+maximum among those dependencies). Execution must respect dependencies,
+but committed dependency graphs may contain cycles (two interfering
+commands can each pick up the other as a dependency on different fast
+quorums), so EPaxos executes strongly connected components in reverse
+topological order, breaking ties inside a component by sequence number and
+then by instance id.
+
+This module implements exactly that, with an iterative Tarjan SCC so deep
+graphs cannot blow the recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+#: An instance is identified by (leader replica id, slot at that replica).
+InstanceId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CommittedInstance:
+    """What execution needs to know about one committed instance."""
+
+    instance: InstanceId
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+
+def tarjan_sccs(graph: Mapping[InstanceId, Iterable[InstanceId]]) -> List[List[InstanceId]]:
+    """Strongly connected components, iteratively, in Tarjan's emit order.
+
+    Tarjan emits each SCC only after all SCCs it can reach have been
+    emitted — i.e. the result is already a *reverse topological* order of
+    the condensation, which is precisely EPaxos's execution order over
+    components.
+    """
+    index_of: Dict[InstanceId, int] = {}
+    lowlink: Dict[InstanceId, int] = {}
+    on_stack: Dict[InstanceId, bool] = {}
+    stack: List[InstanceId] = []
+    components: List[List[InstanceId]] = []
+    counter = 0
+
+    # Canonicalize: iterate roots and successors in sorted order so the
+    # emitted order is a pure function of the graph as a *set* — every
+    # replica computes the identical execution order no matter in which
+    # order commits arrived.
+    graph = {
+        node: sorted(set(succ for succ in successors if succ in graph))
+        for node, successors in sorted(graph.items())
+    }
+
+    for root in graph:
+        if root in index_of:
+            continue
+        # Iterative DFS: work items are (node, iterator over its successors).
+        work: List[Tuple[InstanceId, Iterable]] = [(root, iter(graph.get(root, ())))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in graph:
+                    continue  # dependency outside the committed set: skip
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(graph.get(succ, ()))))
+                    advanced = True
+                    break
+                if on_stack.get(succ, False):
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[InstanceId] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def execution_order(instances: Sequence[CommittedInstance]) -> List[InstanceId]:
+    """The EPaxos execution order over a set of *committed* instances.
+
+    Dependencies pointing outside the given set are ignored (the caller is
+    responsible for only asking once every dependency is committed — see
+    :meth:`EPaxosReplica._try_execute`). Within an SCC, instances run by
+    ascending ``(seq, instance)``.
+    """
+    by_id = {ci.instance: ci for ci in instances}
+    graph = {ci.instance: [d for d in ci.deps if d in by_id] for ci in instances}
+    order: List[InstanceId] = []
+    for component in tarjan_sccs(graph):
+        component.sort(key=lambda iid: (by_id[iid].seq, iid))
+        order.extend(component)
+    return order
+
+
+def dependencies_closed(
+    instances: Mapping[InstanceId, CommittedInstance], roots: Iterable[InstanceId]
+) -> bool:
+    """Is the dependency closure of *roots* entirely inside *instances*?"""
+    seen = set()
+    frontier = [iid for iid in roots]
+    while frontier:
+        iid = frontier.pop()
+        if iid in seen:
+            continue
+        seen.add(iid)
+        committed = instances.get(iid)
+        if committed is None:
+            return False
+        frontier.extend(committed.deps)
+    return True

@@ -1,0 +1,186 @@
+"""The 1B value-selection rule of Figure 1 (lines 43–63), in isolation.
+
+When a new-ballot coordinator has gathered ``1B`` reports from a quorum
+``Q`` of ``n - f`` processes, it must choose a proposal that cannot
+contradict any decision already taken — in particular a decision taken on
+the *fast path*, which may be supported by as few as
+``n - f - e`` votes visible inside ``Q``. The rule, in the paper's order:
+
+1. If some report carries an explicit decision, adopt it (line 48).
+2. Else if a vote was cast at a ballot ``b_max > 0``, adopt the value of
+   that highest ballot, as in classic Paxos (line 51).
+3. Else (all votes are fast-ballot votes) restrict attention to the
+   reports whose *proposer is outside Q* (the set ``R``, line 47): a
+   proposer inside ``Q`` demonstrably never took and never will take the
+   fast path. If some value holds **more than** ``n - f - e`` such votes,
+   adopt it — it is unique (line 54).
+4. Else if some value holds **exactly** ``n - f - e`` such votes, adopt
+   the **maximal** one (lines 57–58); Lemma 7 shows the fast-path value,
+   if any, is that maximum.
+5. Else, if the coordinator itself has an input value, adopt it (line 60).
+6. Else — a liveness completion not spelled out in the brief announcement
+   (it only matters for the *object* variant, where the coordinator may
+   have no input of its own): adopt the maximal value appearing anywhere
+   in the reports, as a vote or as a reported input. At this point no
+   value can have been decided, nor can any value still reach a fast
+   quorum (every value's surviving-vote count is below ``n - f - e``), so
+   any *proposed* value is safe; without this completion a correct
+   proposer whose ``Propose`` reached no one before everyone advanced past
+   ballot 0 would never get a decision, violating wait-freedom. The
+   extension of the ``1B`` payload with the sender's input value exists
+   for the same reason.
+
+Keeping the rule a pure function over :class:`OneBReport` lists lets the
+test suite check Lemma 7 and Lemma C.2 exhaustively and property-based,
+independent of any scheduler. The ablation switches (E9) weaken individual
+ingredients to show each is load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.process import ProcessId
+from ..core.quorums import recovery_threshold
+from ..core.values import BOTTOM, MaybeValue, is_bottom
+
+
+@dataclass(frozen=True)
+class OneBReport:
+    """The state a process reports in a ``1B`` message.
+
+    ``vbal``/``value`` are the last vote (ballot and value), ``proposer``
+    is the process whose ``Propose`` the vote at ballot 0 answered,
+    ``decided`` is a known decision, and ``initial_value`` is the sender's
+    own input (``BOTTOM`` when it has none) — see item 6 above for why the
+    input travels along.
+    """
+
+    sender: ProcessId
+    vbal: int = 0
+    value: MaybeValue = BOTTOM
+    proposer: MaybeValue = BOTTOM
+    decided: MaybeValue = BOTTOM
+    initial_value: MaybeValue = BOTTOM
+
+
+@dataclass(frozen=True)
+class SelectionPolicy:
+    """Ablation switches for the selection rule (all True = the paper).
+
+    use_proposer_exclusion:
+        Count fast votes over ``R`` (proposer outside Q) instead of all of
+        ``Q``. Turning this off forgets the insight that makes a
+        ``n - f - e`` threshold sufficient.
+    max_tie_break:
+        Resolve the exact-threshold tie by the maximal value (line 58);
+        turning it off takes the minimal one, breaking Lemma 7.
+    liveness_completion:
+        Item 6 above; turning it off reproduces the brief announcement's
+        literal rule.
+    """
+
+    use_proposer_exclusion: bool = True
+    max_tie_break: bool = True
+    liveness_completion: bool = True
+
+
+#: The paper's rule, unablated.
+PAPER_POLICY = SelectionPolicy()
+
+
+def select_value(
+    reports: Sequence[OneBReport],
+    n: int,
+    f: int,
+    e: int,
+    own_initial: MaybeValue = BOTTOM,
+    policy: SelectionPolicy = PAPER_POLICY,
+) -> MaybeValue:
+    """Run the 1B selection rule; return the chosen value or ``BOTTOM``.
+
+    *reports* must come from distinct senders (one ``1B`` each). The
+    coordinator passes its own input as *own_initial* (for the task
+    variant this is its proposal, so the rule never returns ``BOTTOM``).
+    """
+    senders = [report.sender for report in reports]
+    if len(set(senders)) != len(senders):
+        raise ConfigurationError("duplicate 1B senders in a single quorum")
+
+    # Line 48: explicit decisions win outright.
+    decided_values = [r.decided for r in reports if not is_bottom(r.decided)]
+    if decided_values:
+        # All equal when the protocol is safe; pick deterministically so the
+        # rule stays a function even on adversarial (unsafe) inputs.
+        return max(decided_values)
+
+    # Line 51: the highest slow-ballot vote supersedes everything below it.
+    b_max = max((r.vbal for r in reports), default=0)
+    if b_max > 0:
+        candidates = [r.value for r in reports if r.vbal == b_max]
+        return max(candidates)
+
+    # Lines 47, 54, 57-58: recover a possible fast-path decision.
+    quorum = set(senders)
+    if policy.use_proposer_exclusion:
+        eligible = [
+            r for r in reports if is_bottom(r.proposer) or r.proposer not in quorum
+        ]
+    else:
+        eligible = list(reports)
+    counts = _vote_counts(eligible)
+    threshold = recovery_threshold(n, f, e)
+
+    above = [value for value, count in counts.items() if count > threshold]
+    if above:
+        # Unique when n >= 2e+f (task) / 2e+f-1 (object); max() keeps the
+        # rule total on adversarial inputs.
+        return max(above)
+
+    exact = [value for value, count in counts.items() if count == threshold]
+    if exact:
+        return max(exact) if policy.max_tie_break else min(exact)
+
+    # Line 60: fall back to the coordinator's own input.
+    if not is_bottom(own_initial):
+        return own_initial
+
+    # Item 6 (liveness completion): adopt any value known to be proposed.
+    if policy.liveness_completion:
+        known: List[MaybeValue] = [r.value for r in eligible if not is_bottom(r.value)]
+        known.extend(r.initial_value for r in reports if not is_bottom(r.initial_value))
+        if known:
+            return max(known)
+
+    return BOTTOM
+
+
+def _vote_counts(reports: Sequence[OneBReport]) -> Dict[MaybeValue, int]:
+    """Fast-ballot vote tallies over the eligible reports (⊥ excluded)."""
+    counts: Dict[MaybeValue, int] = {}
+    for report in reports:
+        if is_bottom(report.value):
+            continue
+        counts[report.value] = counts.get(report.value, 0) + 1
+    return counts
+
+
+def fast_decision_recoverable(
+    reports: Sequence[OneBReport], n: int, f: int, e: int
+) -> Optional[MaybeValue]:
+    """Would the rule recognize a fast-path decision in these reports?
+
+    Convenience used by the recovery benchmarks (E6): returns the value the
+    rule selects through branches 3–4, or ``None`` when the reports carry
+    no recoverable fast decision.
+    """
+    quorum = {r.sender for r in reports}
+    eligible = [r for r in reports if is_bottom(r.proposer) or r.proposer not in quorum]
+    counts = _vote_counts(eligible)
+    threshold = recovery_threshold(n, f, e)
+    winners = [value for value, count in counts.items() if count >= threshold]
+    if not winners:
+        return None
+    return max(winners)

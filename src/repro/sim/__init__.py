@@ -1,0 +1,37 @@
+"""Simulation substrate: DES, synchronous rounds, adversarial arena."""
+
+from .arena import Arena, PendingMessage
+from .events import (
+    DeliveryPriority,
+    prefer_sender,
+    prefer_value_order,
+)
+from .failures import CrashPlan
+from .latency import (
+    FixedLatency,
+    LatencyModel,
+    PartialSynchrony,
+    RandomLatency,
+    WanMatrix,
+)
+from .rounds import exists_two_step_run, synchronous_run, two_step_deciders
+from .simulation import Simulation, StopCondition
+
+__all__ = [
+    "Arena",
+    "CrashPlan",
+    "DeliveryPriority",
+    "FixedLatency",
+    "LatencyModel",
+    "PartialSynchrony",
+    "PendingMessage",
+    "RandomLatency",
+    "Simulation",
+    "StopCondition",
+    "WanMatrix",
+    "exists_two_step_run",
+    "prefer_sender",
+    "prefer_value_order",
+    "synchronous_run",
+    "two_step_deciders",
+]

@@ -1,0 +1,79 @@
+"""Crash-failure plans.
+
+The model admits crash (fail-stop) failures only: a crashed process takes
+no further steps, and messages it sent before crashing may still be
+delivered (reliable links). A :class:`CrashPlan` declares which processes
+crash and when; the simulator turns it into crash events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.process import ProcessId
+
+
+class CrashPlan:
+    """A mapping from process id to absolute crash time."""
+
+    def __init__(self, crash_times: Optional[Mapping[ProcessId, float]] = None) -> None:
+        self.crash_times: Dict[ProcessId, float] = dict(crash_times or {})
+        for pid, time in self.crash_times.items():
+            if time < 0:
+                raise ConfigurationError(
+                    f"crash time for process {pid} must be non-negative, got {time}"
+                )
+
+    @classmethod
+    def none(cls) -> "CrashPlan":
+        """No process ever crashes."""
+        return cls({})
+
+    @classmethod
+    def at_start(cls, pids: Iterable[ProcessId]) -> "CrashPlan":
+        """Crash *pids* at time 0, before they take any step.
+
+        This is clause (2) of Definition 2: the faulty set ``E`` crashes at
+        the beginning of the first round.
+        """
+        return cls({pid: 0.0 for pid in pids})
+
+    @classmethod
+    def at(cls, time: float, pids: Iterable[ProcessId]) -> "CrashPlan":
+        """Crash *pids* at the given absolute time."""
+        return cls({pid: time for pid in pids})
+
+    def merged_with(self, other: "CrashPlan") -> "CrashPlan":
+        """Union of two plans; the earlier time wins on conflict."""
+        combined = dict(self.crash_times)
+        for pid, time in other.crash_times.items():
+            combined[pid] = min(time, combined[pid]) if pid in combined else time
+        return CrashPlan(combined)
+
+    @property
+    def crashed_pids(self) -> Iterable[ProcessId]:
+        return self.crash_times.keys()
+
+    def validate_for(self, n: int, f: Optional[int] = None) -> None:
+        """Check the plan against a system of *n* processes.
+
+        When *f* is given, also enforce the resilience budget
+        ``|crashes| <= f`` — a run crashing more than ``f`` processes is
+        outside the protocol's obligations.
+        """
+        for pid in self.crash_times:
+            if not 0 <= pid < n:
+                raise ConfigurationError(f"crash plan names pid {pid}, but n={n}")
+        if f is not None and len(self.crash_times) > f:
+            raise ConfigurationError(
+                f"crash plan kills {len(self.crash_times)} processes, "
+                f"but the resilience budget is f={f}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.crash_times)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"p{pid}@{t}" for pid, t in sorted(self.crash_times.items()))
+        return f"CrashPlan({inner})"

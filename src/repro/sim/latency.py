@@ -1,0 +1,167 @@
+"""Latency models: how long each message spends in the network.
+
+The paper's model is partial synchrony (Dwork, Lynch, Stockmeyer 1988):
+after an unknown global stabilization time ``GST`` every message arrives
+within a known bound ``Δ``. The models here realize
+
+* the exact-``Δ`` synchronous rounds of Definition 2
+  (:class:`FixedLatency`),
+* general partial synchrony with an adversarially or randomly chaotic
+  pre-GST phase (:class:`PartialSynchrony`),
+* seeded random latencies within a band (:class:`RandomLatency`), and
+* wide-area topologies driven by an inter-site RTT matrix
+  (:class:`WanMatrix`), used by the E5/E10 experiments.
+
+A model maps ``(sender, receiver, send_time)`` to a delivery time. Links
+are reliable: every message is eventually delivered, so models must return
+finite times.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.process import ProcessId
+
+
+class LatencyModel(ABC):
+    """Strategy deciding the delivery time of each message."""
+
+    @abstractmethod
+    def delivery_time(self, sender: ProcessId, receiver: ProcessId, send_time: float) -> float:
+        """Absolute time at which the message reaches *receiver*."""
+
+    def validate(self, delivery: float, send_time: float) -> float:
+        if delivery < send_time:
+            raise ConfigurationError(
+                f"latency model produced delivery at {delivery} for a message "
+                f"sent at {send_time}"
+            )
+        return delivery
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delta`` time units.
+
+    Combined with instantaneous local computation this yields the lockstep
+    rounds of Definition 2: everything sent during round k is delivered at
+    the beginning of round k+1.
+    """
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        self.delta = delta
+
+    def delivery_time(self, sender: ProcessId, receiver: ProcessId, send_time: float) -> float:
+        return send_time + self.delta
+
+
+class RandomLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]`` with a seeded RNG."""
+
+    def __init__(self, low: float, high: float, seed: int = 0) -> None:
+        if not 0 < low <= high:
+            raise ConfigurationError(
+                f"need 0 < low <= high, got low={low}, high={high}"
+            )
+        self.low = low
+        self.high = high
+        self._rng = random.Random(seed)
+
+    def delivery_time(self, sender: ProcessId, receiver: ProcessId, send_time: float) -> float:
+        return send_time + self._rng.uniform(self.low, self.high)
+
+
+class PartialSynchrony(LatencyModel):
+    """Partial synchrony with a known ``Δ`` and an unknown ``GST``.
+
+    Before ``GST`` message delays are drawn uniformly from
+    ``[delta, pre_gst_max]`` (chaotic but finite — links stay reliable).
+    The delivery time is clamped so that every message, whenever sent, is
+    delivered no later than ``max(send_time, gst) + delta``: after
+    stabilization the bound ``Δ`` holds for in-flight messages too, which
+    is the standard DLS guarantee protocols may rely on for liveness.
+    """
+
+    def __init__(
+        self,
+        delta: float = 1.0,
+        gst: float = 0.0,
+        pre_gst_max: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        if gst < 0:
+            raise ConfigurationError(f"gst must be non-negative, got {gst}")
+        self.delta = delta
+        self.gst = gst
+        self.pre_gst_max = pre_gst_max if pre_gst_max is not None else 10.0 * delta
+        if self.pre_gst_max < delta:
+            raise ConfigurationError("pre_gst_max must be at least delta")
+        self._rng = random.Random(seed)
+
+    def delivery_time(self, sender: ProcessId, receiver: ProcessId, send_time: float) -> float:
+        if send_time >= self.gst:
+            return send_time + self._rng.uniform(self.delta * 0.5, self.delta)
+        raw = send_time + self._rng.uniform(self.delta, self.pre_gst_max)
+        return min(raw, max(send_time, self.gst) + self.delta)
+
+
+class WanMatrix(LatencyModel):
+    """One-way latencies from a site-to-site matrix, with optional jitter.
+
+    ``matrix[i][j]`` is the one-way latency (e.g. milliseconds) from the
+    site hosting process ``i`` to the site hosting process ``j``. The
+    optional *placement* maps process ids to matrix rows, so several
+    processes can share a site. Jitter multiplies each sample by a factor
+    drawn from ``[1, 1 + jitter]``.
+    """
+
+    def __init__(
+        self,
+        matrix: Sequence[Sequence[float]],
+        placement: Optional[Sequence[int]] = None,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        size = len(matrix)
+        for row in matrix:
+            if len(row) != size:
+                raise ConfigurationError("latency matrix must be square")
+            for cell in row:
+                if cell < 0:
+                    raise ConfigurationError("latencies must be non-negative")
+        if jitter < 0:
+            raise ConfigurationError(f"jitter must be non-negative, got {jitter}")
+        self.matrix = [list(row) for row in matrix]
+        self.placement = list(placement) if placement is not None else None
+        if self.placement is not None:
+            for site in self.placement:
+                if not 0 <= site < size:
+                    raise ConfigurationError(f"site index {site} out of range")
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def _site(self, pid: ProcessId) -> int:
+        if self.placement is None:
+            return pid
+        return self.placement[pid]
+
+    def delivery_time(self, sender: ProcessId, receiver: ProcessId, send_time: float) -> float:
+        base = self.matrix[self._site(sender)][self._site(receiver)]
+        if self.jitter:
+            base *= 1.0 + self._rng.uniform(0.0, self.jitter)
+        # A zero same-site latency would break event causality (a message
+        # delivered at its own send instant could race its sender's next
+        # step); enforce a tiny positive floor.
+        return send_time + max(base, 1e-9)
+
+    def max_delay(self) -> float:
+        """Upper bound usable as ``Δ`` for timer configuration."""
+        peak = max(max(row) for row in self.matrix)
+        return peak * (1.0 + self.jitter)

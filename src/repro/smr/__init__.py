@@ -1,0 +1,30 @@
+"""State-machine replication: replicated log, KV store, client harness."""
+
+from .client import (
+    ClientOp,
+    WorkloadOutcome,
+    check_logs_consistent,
+    put_get_workload,
+    run_kv_workload,
+)
+from .kvstore import KVCommand, KVStore, NOOP_COMMAND
+from .leader_log import MultiPaxosReplica, multipaxos_factory
+from .log import GAP_TIMER, SMRReplica, Slotted, SubmitCommand, smr_factory
+
+__all__ = [
+    "ClientOp",
+    "GAP_TIMER",
+    "KVCommand",
+    "MultiPaxosReplica",
+    "KVStore",
+    "NOOP_COMMAND",
+    "SMRReplica",
+    "Slotted",
+    "SubmitCommand",
+    "WorkloadOutcome",
+    "check_logs_consistent",
+    "multipaxos_factory",
+    "put_get_workload",
+    "run_kv_workload",
+    "smr_factory",
+]

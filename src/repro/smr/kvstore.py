@@ -1,0 +1,96 @@
+"""The replicated key-value state machine and its command language.
+
+Commands are totally ordered (required by Figure 1's value-ordered fast
+path: a ``Propose`` is only accepted when its value is ``>=`` the
+receiver's own proposal), deterministic, and idempotent-by-id: the SMR
+layer suppresses duplicate application when a command wins several slots
+(which can happen when a proxy re-proposes after losing a slot race).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class KVCommand:
+    """One key-value operation: ``get``, ``put``, or ``cas``."""
+
+    op: str
+    key: str
+    value: Any = None
+    expected: Any = None  # for cas
+    command_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in ("get", "put", "cas", "noop"):
+            raise ValueError(f"unknown op {self.op!r}")
+
+    # Total order: the fast path compares proposals. Any deterministic
+    # total order works; ties on the sort key cannot happen across
+    # distinct commands because command_id is unique per submission.
+    def sort_key(self) -> Tuple[str, str, str, str]:
+        return (self.op, self.key, repr(self.value), self.command_id)
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, KVCommand):
+            return NotImplemented  # lets BOTTOM's reflected comparison apply
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: object) -> bool:
+        if not isinstance(other, KVCommand):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: object) -> bool:
+        if not isinstance(other, KVCommand):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: object) -> bool:
+        if not isinstance(other, KVCommand):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+#: Slot filler decided when a proxy must flush a slot without a command.
+NOOP_COMMAND = KVCommand(op="noop", key="", command_id="__noop__")
+
+
+class KVStore:
+    """Deterministic key-value state machine with duplicate suppression."""
+
+    def __init__(self) -> None:
+        self.data: Dict[str, Any] = {}
+        self.applied_ids: set = set()
+        self.log: List[KVCommand] = []
+
+    def apply(self, command: KVCommand) -> Any:
+        """Apply *command*; returns the operation result.
+
+        Re-applying a command_id already applied is a no-op returning the
+        marker string ``"duplicate"`` — the SMR layer relies on this when
+        the same command wins more than one slot.
+        """
+        if command.command_id and command.command_id in self.applied_ids:
+            return "duplicate"
+        self.applied_ids.add(command.command_id)
+        self.log.append(command)
+        if command.op == "noop":
+            return None
+        if command.op == "get":
+            return self.data.get(command.key)
+        if command.op == "put":
+            self.data[command.key] = command.value
+            return command.value
+        if command.op == "cas":
+            current = self.data.get(command.key)
+            if current == command.expected:
+                self.data[command.key] = command.value
+                return True
+            return False
+        raise AssertionError(f"unreachable op {command.op!r}")
+
+    def snapshot(self) -> Dict[str, Any]:
+        return dict(self.data)

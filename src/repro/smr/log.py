@@ -1,0 +1,319 @@
+"""State-machine replication over per-slot consensus instances.
+
+This is the setting the paper's Introduction appeals to: a client submits
+its command to one of the consensus processes — a *proxy* (Schneider
+1990) — and the proxy answers once the command is decided and applied.
+What matters for client latency is that the **proxy** decides fast; the
+other processes can learn a step later. That asymmetry is exactly what the
+paper's e-two-step definition captures, and why the object bound
+``max{2e+f-1, 2f+1}`` (rather than Lamport's ``2e+f+1``) governs how many
+replicas a deployment needs.
+
+Design: an :class:`SMRReplica` multiplexes one consensus-object instance
+(Figure 1, red lines) per log slot. Inner protocol messages travel inside
+a :class:`Slotted` envelope; inner timers are namespaced per slot; all
+slots share one Ω. A proxy proposes its client's command in the lowest
+slot it believes free; on losing a slot race it re-proposes in the next.
+Decided slots apply to the :class:`~repro.smr.kvstore.KVStore` in slot
+order with duplicate suppression. A periodic gap-repair task lets the Ω
+leader flush stuck slots with no-ops, so a crashed proxy cannot stall the
+log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional, Set, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.messages import Message
+from ..core.process import ClientRequest, Context, Process, ProcessFactory, ProcessId
+from ..core.values import BOTTOM, is_bottom
+from ..omega import OmegaFactory, OmegaService, StaticOmega
+from ..protocols.twostep import TwoStepConfig, TwoStepProcess
+from .kvstore import KVCommand, KVStore, NOOP_COMMAND
+
+GAP_TIMER = "smr:gap"
+SLOT_TIMER_PREFIX = "slot:"
+
+
+@dataclass(frozen=True)
+class Slotted(Message):
+    """Envelope carrying an inner consensus message for one log slot."""
+
+    slot: int
+    inner: Message
+
+
+@dataclass(frozen=True)
+class SubmitCommand(ClientRequest):
+    """Client submission of a command to its proxy replica."""
+
+    command: KVCommand
+
+
+class _SharedOmega(OmegaService):
+    """Per-slot Ω view: delegates leadership, swallows lifecycle hooks.
+
+    The replica owns the real Ω (one heartbeat stream for the whole
+    process, not one per slot); inner consensus instances get this wrapper
+    so their ``on_start`` does not re-initialize it.
+    """
+
+    def __init__(self, real: OmegaService) -> None:
+        self._real = real
+
+    def leader(self, now: float) -> ProcessId:
+        return self._real.leader(now)
+
+
+class _SlotContext(Context):
+    """Adapter giving an inner consensus instance a slot-scoped world."""
+
+    def __init__(self, outer: Context, replica: "SMRReplica", slot: int) -> None:
+        self._outer = outer
+        self._replica = replica
+        self._slot = slot
+
+    @property
+    def now(self) -> float:
+        return self._outer.now
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._outer.pid
+
+    @property
+    def n(self) -> int:
+        return self._outer.n
+
+    def send(self, dst: ProcessId, message: Message) -> None:
+        self._outer.send(dst, Slotted(self._slot, message))
+
+    def set_timer(self, name: str, delay: float) -> None:
+        self._outer.set_timer(f"{SLOT_TIMER_PREFIX}{self._slot}:{name}", delay)
+
+    def cancel_timer(self, name: str) -> None:
+        self._outer.cancel_timer(f"{SLOT_TIMER_PREFIX}{self._slot}:{name}")
+
+    def decide(self, value) -> None:
+        self._replica._on_slot_decided(self._outer, self._slot, value)
+
+
+class SMRReplica(Process):
+    """One replica of the replicated key-value service."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        f: int,
+        e: int,
+        delta: float = 1.0,
+        omega: Optional[OmegaService] = None,
+        consensus_config: Optional[TwoStepConfig] = None,
+    ) -> None:
+        super().__init__(pid, n)
+        base = consensus_config if consensus_config is not None else TwoStepConfig(
+            f=f, e=e, delta=delta, is_object=True
+        )
+        if not base.is_object:
+            raise ConfigurationError("SMR runs over the consensus object variant")
+        base.validate(n)
+        self.config = base
+        self.f = f
+        self.e = e
+        self.delta = delta
+        self.omega = omega if omega is not None else StaticOmega(0)
+
+        self._slots: Dict[int, TwoStepProcess] = {}
+        self._inflight: Dict[int, KVCommand] = {}  # my proposal per slot
+        self._queue: Deque[KVCommand] = deque()
+        self.decided: Dict[int, KVCommand] = {}
+        self.decide_times: Dict[int, float] = {}
+        self.store = KVStore()
+        self.applied_upto = 0  # next slot index awaiting application
+        self.submissions: Dict[str, float] = {}  # command_id -> submit time
+        self.commit_times: Dict[str, float] = {}  # command_id -> slot decide time
+        self.results: Dict[str, Tuple[Any, float]] = {}  # id -> (result, apply time)
+
+    # ------------------------------------------------------------------
+    # Activations.
+    # ------------------------------------------------------------------
+
+    def on_start(self, ctx: Context) -> None:
+        self.omega.on_start(ctx)
+        ctx.set_timer(GAP_TIMER, 5 * self.delta)
+
+    def on_message(self, ctx: Context, sender: ProcessId, message: Message) -> None:
+        if self.omega.handle_message(ctx, sender, message):
+            return
+        if isinstance(message, SubmitCommand):
+            self.submit(ctx, message.command)
+        elif isinstance(message, Slotted):
+            inner = self._slot(ctx, message.slot)
+            inner.on_message(_SlotContext(ctx, self, message.slot), sender, message.inner)
+
+    def on_timer(self, ctx: Context, name: str) -> None:
+        if self.omega.handle_timer(ctx, name):
+            return
+        if name == GAP_TIMER:
+            ctx.set_timer(GAP_TIMER, 5 * self.delta)
+            self._repair_gaps(ctx)
+            return
+        if name.startswith(SLOT_TIMER_PREFIX):
+            slot_text, _, inner_name = name[len(SLOT_TIMER_PREFIX):].partition(":")
+            slot = int(slot_text)
+            inner = self._slot(ctx, slot)
+            inner.on_timer(_SlotContext(ctx, self, slot), inner_name)
+
+    # ------------------------------------------------------------------
+    # The proxy role.
+    # ------------------------------------------------------------------
+
+    def submit(self, ctx: Context, command: KVCommand) -> None:
+        """Accept a client command; propose it as soon as a slot is free."""
+        if not command.command_id:
+            raise ConfigurationError("commands need a unique command_id")
+        self.submissions.setdefault(command.command_id, ctx.now)
+        self._queue.append(command)
+        self._try_propose(ctx)
+
+    def _try_propose(self, ctx: Context) -> None:
+        # One command in flight at a time per proxy: a simple, common
+        # discipline that keeps slot races bounded.
+        if any(slot not in self.decided for slot in self._inflight):
+            return
+        while self._queue:
+            command = self._queue[0]
+            if command.command_id in self.commit_times:
+                self._queue.popleft()  # already decided via another slot
+                continue
+            slot = self._find_free_slot()
+            if slot is None:
+                return
+            inner = self._slot(ctx, slot)
+            inner.propose(_SlotContext(ctx, self, slot), command)
+            if inner.initial_val == command:
+                self._queue.popleft()
+                self._inflight[slot] = command
+            return
+
+    def _find_free_slot(self) -> Optional[int]:
+        slot = self.applied_upto
+        while True:
+            if slot in self.decided:
+                slot += 1
+                continue
+            inner = self._slots.get(slot)
+            if inner is None:
+                return slot
+            if is_bottom(inner.val) and is_bottom(inner.initial_val) and is_bottom(
+                inner.decided
+            ):
+                return slot
+            slot += 1
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle.
+    # ------------------------------------------------------------------
+
+    def _slot(self, ctx: Context, slot: int) -> TwoStepProcess:
+        if slot not in self._slots:
+            inner = TwoStepProcess(
+                self.pid, self.n, self.config, omega=_SharedOmega(self.omega)
+            )
+            self._slots[slot] = inner
+            inner.on_start(_SlotContext(ctx, self, slot))
+        return self._slots[slot]
+
+    def _on_slot_decided(self, ctx: Context, slot: int, value) -> None:
+        if slot in self.decided:
+            return
+        command: KVCommand = value
+        self.decided[slot] = command
+        self.decide_times[slot] = ctx.now
+        if command.command_id:
+            self.commit_times.setdefault(command.command_id, ctx.now)
+        mine = self._inflight.get(slot)
+        if mine is not None and mine != command and mine.command_id not in self.commit_times:
+            # Lost the slot race: put my command back at the front.
+            self._queue.appendleft(mine)
+        self._inflight.pop(slot, None)
+        self._apply_ready(ctx)
+        self._try_propose(ctx)
+
+    def _apply_ready(self, ctx: Context) -> None:
+        while self.applied_upto in self.decided:
+            command = self.decided[self.applied_upto]
+            result = self.store.apply(command)
+            if command.command_id in self.submissions:
+                self.results.setdefault(command.command_id, (result, ctx.now))
+            self.applied_upto += 1
+
+    # ------------------------------------------------------------------
+    # Gap repair.
+    # ------------------------------------------------------------------
+
+    def _repair_gaps(self, ctx: Context) -> None:
+        """Ω leader flushes stuck slots below the decided frontier.
+
+        A slot can linger when its proxy crashed mid-propose: replicas
+        that saw nothing of it would wait forever. The leader proposes a
+        no-op there; the consensus instance then either recovers the
+        original command (its recovery rule prefers reported inputs and
+        votes) or decides the no-op — either way the log unblocks.
+        """
+        if self.omega.leader(ctx.now) != self.pid:
+            return
+        known = set(self.decided) | set(self._slots)
+        if not known:
+            return
+        horizon = max(known)
+        for slot in range(self.applied_upto, horizon + 1):
+            if slot in self.decided:
+                continue
+            inner = self._slot(ctx, slot)
+            if is_bottom(inner.initial_val) and is_bottom(inner.decided):
+                filler = KVCommand(
+                    op="noop", key="", command_id=f"__noop:{self.pid}:{slot}__"
+                )
+                inner.propose(_SlotContext(ctx, self, slot), filler)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def committed_log(self) -> Dict[int, KVCommand]:
+        return dict(self.decided)
+
+    def commit_latency(self, command_id: str) -> Optional[float]:
+        """Proxy-observed commit latency of one of *this* proxy's commands."""
+        if command_id not in self.submissions or command_id not in self.commit_times:
+            return None
+        return self.commit_times[command_id] - self.submissions[command_id]
+
+
+def smr_factory(
+    f: int,
+    e: int,
+    delta: float = 1.0,
+    omega_factory: Optional[OmegaFactory] = None,
+    consensus_config: Optional[TwoStepConfig] = None,
+) -> ProcessFactory:
+    """Factory for a replicated KV service over Figure 1 (object variant)."""
+
+    def build(pid: ProcessId, n: int) -> SMRReplica:
+        omega = omega_factory(pid, n) if omega_factory is not None else None
+        return SMRReplica(
+            pid,
+            n,
+            f,
+            e,
+            delta=delta,
+            omega=omega,
+            consensus_config=consensus_config,
+        )
+
+    return build

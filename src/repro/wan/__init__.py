@@ -1,0 +1,39 @@
+"""Wide-area deployment modeling (experiments E5 and E10)."""
+
+from .deployment import (
+    Deployment,
+    fast_path_prediction,
+    measured_commit_latency_twostep,
+    per_site_latency_table,
+    predicted_commit_latency_twostep,
+    round_robin_deployment,
+)
+from .topologies import (
+    INTRA_REGION_MS,
+    REGIONS,
+    Topology,
+    five_regions,
+    nine_regions,
+    one_way_ms,
+    seven_regions,
+    three_continents,
+    topology,
+)
+
+__all__ = [
+    "Deployment",
+    "INTRA_REGION_MS",
+    "REGIONS",
+    "Topology",
+    "fast_path_prediction",
+    "five_regions",
+    "measured_commit_latency_twostep",
+    "nine_regions",
+    "one_way_ms",
+    "per_site_latency_table",
+    "predicted_commit_latency_twostep",
+    "round_robin_deployment",
+    "seven_regions",
+    "three_continents",
+    "topology",
+]

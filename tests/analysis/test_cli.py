@@ -1,0 +1,56 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "e10" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "lamport" in out and "object(Thm6)" in out
+
+    def test_experiment_e1(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        assert "E1" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_witness_task(self, capsys):
+        assert main(["witness", "task", "2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "AGREEMENT VIOLATION" in out
+
+    def test_witness_object(self, capsys):
+        assert main(["witness", "object", "3", "3"]) == 0
+        assert "AGREEMENT VIOLATION" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestReport:
+    def test_report_quick_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--quick", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("# Reproduction report")
+        assert text.count("**Verdict:**") == 10
+        assert "AGREEMENT VIOLATION (as the theorem predicts)" in text
+        assert "SATISFIED" in text
+
+    def test_generate_report_function(self):
+        from repro.analysis import generate_report
+
+        text = generate_report(quick=True)
+        assert "E1 — bounds table" in text
+        assert "E10 — geo-replicated KV service" in text

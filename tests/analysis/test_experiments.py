@@ -1,0 +1,157 @@
+"""Tests for the E1-E10 experiment harness: shapes and headline claims.
+
+Each experiment must not only run — its output must show the *shape* the
+paper claims: who wins, by how much, where the separations fall.
+"""
+
+import pytest
+
+from repro.analysis import (
+    e1_bounds_rows,
+    e3_two_step_coverage_rows,
+    e4_latency_vs_conflict_rows,
+    e5_wan_rows,
+    e6_recovery_rows,
+    e7_message_rows,
+    e8_epaxos_rows,
+    e9_ablation_rows,
+    e9_liveness_completion_demo,
+    e10_smr_rows,
+)
+
+
+class TestE1Bounds:
+    def test_savings_grow_with_e(self):
+        rows = e1_bounds_rows(4)
+        by_fe = {(r["f"], r["e"]): r for r in rows}
+        assert by_fe[(2, 2)]["saved_object"] == 2
+        assert by_fe[(2, 2)]["saved_task"] == 1
+        assert by_fe[(4, 4)]["object(Thm6)"] < by_fe[(4, 4)]["lamport"]
+
+    def test_object_never_above_task(self):
+        for row in e1_bounds_rows(5):
+            assert row["object(Thm6)"] <= row["task(Thm5)"] <= row["lamport"]
+
+
+class TestE3Coverage:
+    def test_paxos_partial_fast_protocols_full(self):
+        rows = e3_two_step_coverage_rows(f_values=(1,))
+        by_protocol = {r["protocol"]: r for r in rows}
+        assert by_protocol["paxos"]["coverage"] < 1.0
+        assert by_protocol["fast-paxos"]["coverage"] == 1.0
+        assert by_protocol["twostep-task"]["coverage"] == 1.0
+
+    def test_twostep_uses_fewer_processes_than_fast_paxos(self):
+        rows = e3_two_step_coverage_rows(f_values=(1, 2))
+        for f in (1, 2):
+            fp = next(r for r in rows if r["f"] == f and r["protocol"] == "fast-paxos")
+            ts = next(
+                r for r in rows if r["f"] == f and r["protocol"] == "twostep-task"
+            )
+            assert ts["n"] < fp["n"]
+
+
+class TestE4Conflict:
+    def test_best_schedule_always_two_steps(self):
+        rows = e4_latency_vs_conflict_rows(seeds=(1, 2))
+        for row in rows:
+            if row["schedule"] == "best":
+                assert row["first_decision_mean"] == 2.0
+                assert row["fast_fraction"] == 1.0
+
+    def test_random_schedules_degrade(self):
+        rows = e4_latency_vs_conflict_rows(seeds=(1, 2, 3))
+        random_rows = [r for r in rows if r["schedule"] == "random"]
+        assert any(r["fast_fraction"] < 1.0 for r in random_rows)
+
+
+class TestE5Wan:
+    def test_growing_bound_costs_latency(self):
+        rows = e5_wan_rows(f=2, e=2)
+        means = [row["measured_mean_ms"] for row in rows]
+        assert means[0] < means[2], "object bound must beat Lamport's bound"
+
+    def test_prediction_matches_measurement(self):
+        for row in e5_wan_rows(f=2, e=2):
+            assert row["measured_mean_ms"] == pytest.approx(
+                row["predicted_mean_ms"], rel=1e-6
+            )
+
+
+class TestE6Recovery:
+    def test_sound_at_bound_unsound_below(self):
+        rows = e6_recovery_rows(
+            configs=((2, 2, False), (3, 3, True)), trials=1500
+        )
+        for row in rows:
+            if row["where"] == "at bound":
+                assert row["recovery_failures"] == 0, row
+            else:
+                assert row["recovery_failures"] > 0, row
+
+
+class TestE7Messages:
+    def test_all_protocols_reported(self):
+        rows = e7_message_rows()
+        assert {r["protocol"] for r in rows} == {
+            "paxos",
+            "fast-paxos",
+            "twostep-task",
+        }
+
+    def test_everyone_decides_fast_in_happy_runs(self):
+        for row in e7_message_rows():
+            assert row["all_decided_by"] <= 3.0
+
+
+class TestE8EPaxos:
+    def test_conflict_free_is_fast_at_2f_plus_1(self):
+        rows = e8_epaxos_rows(f_values=(1, 2), conflict_rates=(0.0,))
+        for row in rows:
+            assert row["n"] == 2 * row["f"] + 1
+            assert row["fast_fraction"] == 1.0
+            assert row["commit_mean"] == 2.0
+
+    def test_full_conflict_is_slow(self):
+        rows = e8_epaxos_rows(f_values=(1,), conflict_rates=(1.0,))
+        assert rows[0]["fast_fraction"] == 0.0
+        assert rows[0]["commit_mean"] > 2.0
+
+
+class TestE9Ablations:
+    def test_paper_policy_clean(self):
+        rows = e9_ablation_rows(trials=800)
+        paper = next(r for r in rows if r["ablation"] == "paper (none)")
+        assert paper["two_step_ok"]
+        assert paper["recovery_failures_task"] == 0
+        assert paper["recovery_failures_object"] == 0
+
+    def test_each_ablation_breaks_something(self):
+        rows = e9_ablation_rows(trials=2500)
+        for row in rows:
+            if row["ablation"] == "paper (none)":
+                continue
+            broke = (
+                not row["two_step_ok"]
+                or row["recovery_failures_task"] > 0
+                or row["recovery_failures_object"] > 0
+            )
+            assert broke, f"ablation {row['ablation']} broke nothing"
+
+    def test_liveness_completion_demo(self):
+        outcome = e9_liveness_completion_demo()
+        assert outcome["with_completion_decides"] == 5
+        assert outcome["without_completion_decides"] is None
+
+
+class TestE10Smr:
+    def test_lan_commit_latency_two_delays(self):
+        rows = e10_smr_rows(use_wan=False, commands=6)
+        total = next(r for r in rows if r["proxy"] == "ALL")
+        assert total["commit_mean"] == 2.0
+
+    def test_wan_rows_cover_all_proxies(self):
+        rows = e10_smr_rows(use_wan=True, commands=5)
+        proxies = [r["proxy"] for r in rows]
+        assert "ALL" in proxies
+        assert len(proxies) == 6  # 5 proxies + ALL

@@ -1,0 +1,70 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis import bar_chart, line_chart, series
+from repro.analysis.figures import Series
+
+
+class TestSeries:
+    def test_builder(self):
+        s = series("a", [(1, 2), (3, 4)])
+        assert s.xs == (1.0, 3.0)
+        assert s.ys == (2.0, 4.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", (1, 2), (1,))
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert "(no data)" in line_chart([], title="x")
+
+    def test_contains_title_and_legend(self):
+        text = line_chart([series("lat", [(0, 1), (1, 2)])], title="T")
+        assert text.startswith("T\n=")
+        assert "legend: o lat" in text
+
+    def test_extremes_labelled(self):
+        text = line_chart([series("s", [(0, 10), (5, 50)])])
+        assert "50" in text and "10" in text
+        assert "0" in text and "5" in text
+
+    def test_marks_distinct_per_series(self):
+        text = line_chart(
+            [series("a", [(0, 0), (1, 1)]), series("b", [(0, 1), (1, 0)])]
+        )
+        assert "o a" in text and "x b" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = line_chart([series("flat", [(0, 2), (1, 2), (2, 2)])])
+        assert "flat" in text
+
+    def test_single_point(self):
+        text = line_chart([series("dot", [(1, 1)])])
+        assert "o" in text
+
+    def test_grid_dimensions(self):
+        text = line_chart([series("s", [(0, 0), (9, 9)])], width=30, height=8)
+        plot_lines = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_lines) == 8
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_bars_scale_with_values(self):
+        text = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        small = next(l for l in text.splitlines() if "small" in l)
+        big = next(l for l in text.splitlines() if "big" in l)
+        assert big.count("#") > small.count("#")
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart({"a": 5.0}, unit="ms")
+
+    def test_zero_value_gets_empty_bar(self):
+        text = bar_chart({"zero": 0.0, "one": 1.0})
+        zero_line = next(l for l in text.splitlines() if "zero" in l)
+        assert "#" not in zero_line

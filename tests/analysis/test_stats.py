@@ -1,0 +1,76 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import Summary, mean, percentile, ratio, summarize
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = [3, 1, 4, 1, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_bounded_by_min_max(self, data):
+        for q in (0, 25, 50, 75, 100):
+            assert min(data) <= percentile(data, q) <= max(data)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2))
+    def test_monotone_in_q(self, data):
+        values = [percentile(data, q) for q in (0, 50, 95, 100)]
+        tolerance = 1e-9 * max(1.0, max(data))
+        for lower, higher in zip(values, values[1:]):
+            assert lower <= higher + tolerance
+
+
+class TestSummarize:
+    def test_empty_returns_none(self):
+        assert summarize([]) is None
+
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.p50 == 2.0
+
+    def test_format(self):
+        text = summarize([1, 2]).format()
+        assert "n=2" in text and "mean=1.5" in text
+
+    def test_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(4, 2) == 2.0
+
+    def test_zero_denominator(self):
+        assert math.isinf(ratio(1, 0))
+        assert ratio(0, 0) == 1.0

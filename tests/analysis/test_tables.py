@@ -1,0 +1,45 @@
+"""Tests for the table renderer."""
+
+from repro.analysis import render_records, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines if line}) <= 2  # header may be shorter
+        assert "long-name" in text
+
+    def test_title_and_rule(self):
+        text = render_table(["x"], [[1]], title="T1")
+        assert text.splitlines()[0] == "T1"
+        assert text.splitlines()[1] == "=="
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1.23456]], float_digits=2)
+        assert "1.23" in text
+
+    def test_none_rendered_as_dash(self):
+        assert "-" in render_table(["v"], [[None]])
+
+    def test_bools(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestRenderRecords:
+    def test_columns_from_first_record(self):
+        text = render_records([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        header = text.splitlines()[0]
+        assert header.split() == ["a", "b"]
+
+    def test_explicit_columns(self):
+        text = render_records([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty(self):
+        assert "(empty)" in render_records([], title="nothing")
+
+    def test_missing_keys_dash(self):
+        text = render_records([{"a": 1, "b": 2}, {"a": 3}])
+        assert "-" in text

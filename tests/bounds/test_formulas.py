@@ -1,0 +1,137 @@
+"""Tests for the bound formulas (Theorems 5 and 6 and related work)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bounds import (
+    bounds_table,
+    epaxos_fast_threshold,
+    interesting_configurations,
+    max_e_lamport,
+    max_e_object,
+    max_e_task,
+    min_processes_byzantine_fast,
+    min_processes_consensus,
+    min_processes_lamport_fast,
+    min_processes_object,
+    min_processes_task,
+)
+from repro.core import ConfigurationError
+
+FE = st.tuples(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50)).map(
+    lambda t: (max(t), min(t))  # ensure f >= e >= 1
+)
+
+
+class TestPointValues:
+    """The values the paper quotes explicitly."""
+
+    def test_consensus_floor(self):
+        assert min_processes_consensus(2) == 5
+
+    def test_paper_headline_f2e2(self):
+        # Abstract: task max{2e+f, 2f+1}; object max{2e+f-1, 2f+1}.
+        assert min_processes_lamport_fast(2, 2) == 7
+        assert min_processes_task(2, 2) == 6
+        assert min_processes_object(2, 2) == 5
+
+    def test_epaxos_data_point_even_f(self):
+        """Intro: EPaxos decides two-step under e = ceil((f+1)/2) with
+        2f+1 = 2e+f-1 processes, while Lamport's bound demands 2f+3."""
+        for f in (2, 4, 6):  # even f: 2e = f+2 exactly
+            e = epaxos_fast_threshold(f)
+            assert 2 * f + 1 == 2 * e + f - 1 == min_processes_object(f, e)
+            assert min_processes_lamport_fast(f, e) == 2 * f + 3
+
+    def test_epaxos_data_point_odd_f(self):
+        """For odd f the fast term 2e+f-1 = 2f sits below 2f+1, so the
+        object bound is 2f+1 — EPaxos still fits exactly."""
+        for f in (1, 3, 5):
+            e = epaxos_fast_threshold(f)
+            assert min_processes_object(f, e) == 2 * f + 1
+            assert min_processes_lamport_fast(f, e) == 2 * f + 2
+
+    def test_byzantine_related_work(self):
+        assert min_processes_byzantine_fast(1, 1) == 4
+        with pytest.raises(ConfigurationError):
+            min_processes_byzantine_fast(1, 0)
+
+
+class TestOrdering:
+    @given(FE)
+    def test_object_at_most_task_at_most_lamport(self, fe):
+        f, e = fe
+        assert (
+            min_processes_consensus(f)
+            <= min_processes_object(f, e)
+            <= min_processes_task(f, e)
+            <= min_processes_lamport_fast(f, e)
+        )
+
+    @given(FE)
+    def test_gaps_are_at_most_one_each(self, fe):
+        f, e = fe
+        assert min_processes_task(f, e) - min_processes_object(f, e) in (0, 1)
+        assert min_processes_lamport_fast(f, e) - min_processes_task(f, e) in (0, 1)
+
+    @given(FE)
+    def test_never_below_2f_plus_1(self, fe):
+        f, e = fe
+        assert min_processes_object(f, e) >= 2 * f + 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "fn", [min_processes_task, min_processes_object, min_processes_lamport_fast]
+    )
+    def test_rejects_e_above_f(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(1, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            min_processes_consensus(-1)
+
+
+class TestInverses:
+    """max_e_* must be the exact inverses of the min_processes_* formulas."""
+
+    @given(FE)
+    def test_task_inverse(self, fe):
+        f, e = fe
+        n = min_processes_task(f, e)
+        assert max_e_task(n, f) >= e
+        if max_e_task(n, f) < f:
+            bigger = max_e_task(n, f) + 1
+            assert min_processes_task(f, bigger) > n
+
+    @given(FE)
+    def test_object_inverse(self, fe):
+        f, e = fe
+        n = min_processes_object(f, e)
+        assert max_e_object(n, f) >= e
+
+    @given(FE)
+    def test_lamport_inverse(self, fe):
+        f, e = fe
+        n = min_processes_lamport_fast(f, e)
+        assert max_e_lamport(n, f) >= e
+
+    def test_inverse_rejects_undersized_system(self):
+        with pytest.raises(ConfigurationError):
+            max_e_task(4, 2)
+
+
+class TestTable:
+    def test_row_count(self):
+        assert len(bounds_table(4)) == 4 + 3 + 2 + 1
+
+    def test_savings_nonnegative(self):
+        for row in bounds_table(6):
+            assert row.savings_task >= 0
+            assert row.savings_object >= row.savings_task
+
+    def test_interesting_configurations_exclude_trivial(self):
+        for config in interesting_configurations(5):
+            assert config["lamport"] > 2 * config["f"] + 1

@@ -1,0 +1,113 @@
+"""Tests for the randomized adversarial safety fuzzer."""
+
+import pytest
+
+from repro.bounds import fuzz_safety, random_adversarial_run
+from repro.core import check_agreement, check_validity
+from repro.omega import static_omega_factory
+from repro.protocols import (
+    ProposeRequest,
+    fast_paxos_factory,
+    paxos_factory,
+    twostep_object_factory,
+    twostep_task_factory,
+)
+
+
+def _task_factory(n, f, e, proposals):
+    return twostep_task_factory(
+        proposals, f, e, omega_factory=static_omega_factory(0)
+    )
+
+
+class TestRandomRuns:
+    def test_run_is_reproducible(self):
+        proposals = {i: i for i in range(5)}
+        factory = _task_factory(5, 2, 1, proposals)
+        a = random_adversarial_run(factory, 5, 2, seed=9, proposals=proposals)
+        factory = _task_factory(5, 2, 1, proposals)
+        b = random_adversarial_run(factory, 5, 2, seed=9, proposals=proposals)
+        assert [r for _, r in (
+            (None, x) for x in map(repr, a.records)
+        )] == list(map(repr, b.records))
+
+    def test_crash_budget_respected(self):
+        proposals = {i: i for i in range(5)}
+        for seed in range(20):
+            factory = _task_factory(5, 2, 1, proposals)
+            run = random_adversarial_run(
+                factory, 5, 2, seed=seed, proposals=proposals
+            )
+            assert len(run.crashed) <= 2
+
+
+class TestSafetyAtBounds:
+    """No random schedule may break agreement/validity at the bounds."""
+
+    def test_twostep_task_at_bound(self):
+        f, e, n = 2, 2, 6
+        proposals = {i: i % 3 for i in range(n)}
+        result = fuzz_safety(
+            lambda seed: _task_factory(n, f, e, proposals),
+            n,
+            f,
+            seeds=range(150),
+            proposals=proposals,
+        )
+        assert not result.found_violation, result.first_violation
+
+    def test_twostep_object_at_bound(self):
+        f, e, n = 2, 2, 5
+        result = fuzz_safety(
+            lambda seed: twostep_object_factory(
+                f, e, omega_factory=static_omega_factory(0)
+            ),
+            n,
+            f,
+            seeds=range(150),
+            injections_for_seed=lambda seed: {
+                i: ProposeRequest(10 + (seed + i) % 3) for i in range(3)
+            },
+        )
+        assert not result.found_violation, result.first_violation
+
+    def test_paxos(self):
+        proposals = {i: i for i in range(5)}
+        result = fuzz_safety(
+            lambda seed: paxos_factory(
+                proposals, 2, omega_factory=static_omega_factory(0)
+            ),
+            5,
+            2,
+            seeds=range(100),
+            proposals=proposals,
+        )
+        assert not result.found_violation, result.first_violation
+
+    def test_fast_paxos_at_lamport_bound(self):
+        proposals = {i: i % 2 for i in range(7)}
+        result = fuzz_safety(
+            lambda seed: fast_paxos_factory(
+                proposals, 2, 2, omega_factory=static_omega_factory(0)
+            ),
+            7,
+            2,
+            seeds=range(100),
+            proposals=proposals,
+        )
+        assert not result.found_violation, result.first_violation
+
+
+class TestResultAggregate:
+    def test_counts(self):
+        proposals = {i: i for i in range(5)}
+        result = fuzz_safety(
+            lambda seed: _task_factory(5, 2, 1, proposals),
+            5,
+            2,
+            seeds=range(10),
+            proposals=proposals,
+        )
+        assert result.schedules_run == 10
+        assert result.violating_seeds == []
+        assert result.first_violation is None

@@ -1,0 +1,122 @@
+"""Tests for the executable Appendix B lower-bound witnesses.
+
+The central reproduction artifact: below the bounds the constructions
+produce *observable agreement violations* against Figure 1 itself, with
+the survivors provably unable to distinguish the paired runs. At the
+bounds the constructions become impossible (the crash budget overflows) —
+which is exactly how the tight bound manifests.
+"""
+
+import pytest
+
+from repro.bounds import (
+    default_object_partition,
+    default_task_partition,
+    min_processes_object,
+    min_processes_task,
+    object_lower_bound_witness,
+    task_lower_bound_witness,
+)
+from repro.core import ConfigurationError
+from repro.protocols import TwoStepConfig
+
+
+class TestTaskWitness:
+    @pytest.mark.parametrize("f,e", [(2, 2), (3, 3), (4, 3), (4, 4)])
+    def test_agreement_violated_below_bound(self, f, e):
+        result = task_lower_bound_witness(f, e)
+        assert result.partition.n == min_processes_task(f, e) - 1
+        assert result.violation_found, result.describe()
+
+    @pytest.mark.parametrize("f,e", [(2, 2), (3, 3)])
+    def test_survivor_views_indistinguishable(self, f, e):
+        result = task_lower_bound_witness(f, e)
+        assert result.survivors_views_equal, (
+            "the spliced runs σ1/σ0 must be indistinguishable to survivors"
+        )
+
+    def test_p_decides_one_p_prime_decides_zero(self, f2e2):
+        result = task_lower_bound_witness(**f2e2)
+        assert result.decision_of_p == 1
+        assert result.decision_of_p_prime == 0
+
+    def test_crash_budget_is_exactly_f(self):
+        partition = default_task_partition(2, 2)
+        assert len(partition.crash_set) == partition.f
+
+    def test_partition_sizes(self):
+        partition = default_task_partition(3, 3)
+        assert len(partition.e0) == 3
+        assert len(partition.e1) == 3
+        assert len(partition.f0) == 2  # f - 1
+        assert partition.n == 8
+
+    def test_rejects_configs_where_fast_term_does_not_bind(self):
+        # f=3, e=2: 2e+f-1 = 6 < 2f+1 = 7 — the binding bound is 2f+1.
+        with pytest.raises(ConfigurationError, match="does not bind"):
+            default_task_partition(3, 2)
+
+    def test_rejects_e_below_two(self):
+        with pytest.raises(ConfigurationError):
+            default_task_partition(2, 1)
+
+    def test_requires_unenforced_bound_config(self):
+        with pytest.raises(ConfigurationError, match="below its bound"):
+            task_lower_bound_witness(2, 2, config=TwoStepConfig(f=2, e=2))
+
+
+class TestObjectWitness:
+    @pytest.mark.parametrize("f,e", [(3, 3), (4, 4), (5, 4)])
+    def test_agreement_violated_below_bound(self, f, e):
+        result = object_lower_bound_witness(f, e)
+        assert result.partition.n == min_processes_object(f, e) - 1
+        assert result.violation_found, result.describe()
+
+    def test_survivor_views_indistinguishable(self):
+        result = object_lower_bound_witness(3, 3)
+        assert result.survivors_views_equal
+
+    def test_p_fast_decides_zero_survivors_decide_one(self):
+        result = object_lower_bound_witness(3, 3)
+        assert result.decision_of_p == 0
+        assert result.continuation_decision == 1
+
+    def test_crash_budget_is_exactly_f(self):
+        partition = default_object_partition(3, 3)
+        crash_set = set(partition.shared) | {partition.p, partition.q}
+        assert len(crash_set) == partition.f
+
+    def test_partition_sizes(self):
+        partition = default_object_partition(3, 3)
+        assert partition.n == 7
+        assert len(partition.shared) == 1  # f - 2
+        assert len(partition.e0_star) == 2  # e - 1
+        assert len(partition.e1_star) == 2
+        assert len(partition.e0) == partition.n - partition.e  # quorum n - e
+
+    def test_survivors_are_exactly_n_minus_f(self):
+        partition = default_object_partition(4, 4)
+        assert len(partition.survivors) == partition.n - partition.f
+
+    def test_rejects_configs_where_fast_term_does_not_bind(self):
+        with pytest.raises(ConfigurationError, match="does not bind"):
+            default_object_partition(4, 3)  # 2e+f-2 = 8 < 2f+1 = 9
+
+
+class TestConstructionImpossibleAtBound:
+    """At n = bound the same splice would need f+1 crashes: the proofs'
+    budget argument, checked arithmetically from the partitions."""
+
+    def test_task_at_bound_needs_extra_crash(self):
+        # At n = 2e+f the construction would need |F0| = f, so F0 ∪ {p}
+        # has f+1 members — over budget.
+        partition = default_task_partition(2, 2)
+        n_at_bound = partition.n + 1
+        required_f0 = n_at_bound - 2 * partition.e  # f processes
+        assert required_f0 + 1 > partition.f
+
+    def test_object_at_bound_needs_extra_crash(self):
+        partition = default_object_partition(3, 3)
+        n_at_bound = partition.n + 1
+        required_shared = n_at_bound - 2 * partition.e  # f - 1 processes
+        assert required_shared + 2 > partition.f  # F ∪ {p, q} over budget

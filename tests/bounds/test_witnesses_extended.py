@@ -1,0 +1,82 @@
+"""Extended witness coverage: larger configurations and scenario-generator
+consistency checks."""
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import random_fast_decision_reports
+from repro.bounds import (
+    object_lower_bound_witness,
+    task_lower_bound_witness,
+)
+from repro.core import BOTTOM, is_bottom
+
+
+class TestLargerConfigurations:
+    @pytest.mark.parametrize("f,e", [(5, 4), (6, 4), (5, 5)])
+    def test_task_witness_scales(self, f, e):
+        result = task_lower_bound_witness(f, e)
+        assert result.violation_found, result.describe()
+        assert result.survivors_views_equal
+
+    @pytest.mark.parametrize("f,e", [(5, 4), (6, 5), (5, 5)])
+    def test_object_witness_scales(self, f, e):
+        result = object_lower_bound_witness(f, e)
+        assert result.violation_found, result.describe()
+        assert result.survivors_views_equal
+
+
+class TestScenarioGeneratorConsistency:
+    """The E6 generator must only produce protocol-reachable states —
+    otherwise its at-bound zero-failure results would be vacuous."""
+
+    def _cases(self, n, f, e, object_semantics, trials=300, seed=5):
+        rng = random.Random(seed)
+        for _ in range(trials):
+            yield random_fast_decision_reports(rng, n, f, e, object_semantics)
+
+    @pytest.mark.parametrize("object_semantics", [False, True])
+    def test_quorum_size_is_n_minus_f(self, object_semantics):
+        n, f, e = 6, 2, 2
+        for reports, _ in self._cases(n, f, e, object_semantics):
+            assert len(reports) == n - f
+            assert len({r.sender for r in reports}) == n - f
+
+    @pytest.mark.parametrize("object_semantics", [False, True])
+    def test_winner_support_visible_or_decided(self, object_semantics):
+        """Either the proposer reports the decision, or at least
+        n - e - f winner votes survive into the quorum."""
+        n, f, e = 6, 2, 2
+        for reports, winner in self._cases(n, f, e, object_semantics):
+            decided = any(r.decided == winner for r in reports)
+            votes = sum(1 for r in reports if r.value == winner)
+            assert decided or votes >= n - e - f
+
+    def test_task_votes_respect_value_order(self):
+        n, f, e = 6, 2, 2
+        for reports, _ in self._cases(n, f, e, False):
+            for report in reports:
+                if not is_bottom(report.value) and not is_bottom(
+                    report.initial_value
+                ):
+                    assert report.value >= report.initial_value
+
+    def test_object_proposers_never_vote_foreign_values(self):
+        n, f, e = 7, 3, 3
+        for reports, _ in self._cases(n, f, e, True):
+            for report in reports:
+                if not is_bottom(report.initial_value) and not is_bottom(
+                    report.value
+                ):
+                    assert report.value == report.initial_value
+
+    @pytest.mark.parametrize("object_semantics", [False, True])
+    def test_nobody_votes_own_proposal_via_message(self, object_semantics):
+        """A process never receives its own Propose, so its recorded vote
+        must name a different proposer."""
+        n, f, e = 6, 2, 2
+        for reports, _ in self._cases(n, f, e, object_semantics):
+            for report in reports:
+                if not is_bottom(report.proposer):
+                    assert report.proposer != report.sender

@@ -1,0 +1,122 @@
+"""Tests for the executable Definition 4 / Definition A.1 checkers.
+
+These are the reproduction's headline positives and negatives:
+
+* Figure 1 task variant satisfies Definition 4 at n = max{2e+f, 2f+1};
+* Figure 1 object variant satisfies Definition A.1 at n = max{2e+f-1, 2f+1};
+* Fast Paxos satisfies Definition 4 at Lamport's max{2e+f+1, 2f+1};
+* Paxos fails Definition 4 for every e > 0.
+"""
+
+import pytest
+
+from repro.bounds import (
+    min_processes_lamport_fast,
+    min_processes_object,
+    min_processes_task,
+)
+from repro.checks import (
+    check_object_two_step,
+    check_task_two_step,
+    fast_paxos_builder,
+    paxos_builder,
+    twostep_object_builder,
+    twostep_task_builder,
+)
+
+
+class TestTaskDefinition:
+    @pytest.mark.parametrize("f,e", [(1, 1), (2, 1), (2, 2)])
+    def test_figure1_satisfies_definition4_at_bound(self, f, e):
+        n = min_processes_task(f, e)
+        report = check_task_two_step(
+            twostep_task_builder(f, e), n, e, max_configurations=32
+        )
+        assert report.satisfied, report.describe()
+
+    def test_figure1_satisfies_definition4_above_bound(self):
+        report = check_task_two_step(
+            twostep_task_builder(2, 2), 7, 2, max_configurations=16,
+            max_faulty_sets=8,
+        )
+        assert report.satisfied, report.describe()
+
+    def test_f3_e3_sampled(self):
+        n = min_processes_task(3, 3)  # 9
+        report = check_task_two_step(
+            twostep_task_builder(3, 3),
+            n,
+            3,
+            max_configurations=8,
+            max_faulty_sets=6,
+        )
+        assert report.satisfied, report.describe()
+
+
+class TestObjectDefinition:
+    @pytest.mark.parametrize("f,e", [(2, 2), (3, 2)])
+    def test_figure1_object_satisfies_definitionA1_at_bound(self, f, e):
+        n = min_processes_object(f, e)
+        report = check_object_two_step(twostep_object_builder(f, e), n, e)
+        assert report.satisfied, report.describe()
+
+    def test_f3_e3_sampled(self):
+        n = min_processes_object(3, 3)  # 8
+        report = check_object_two_step(
+            twostep_object_builder(3, 3), n, 3, max_faulty_sets=8
+        )
+        assert report.satisfied, report.describe()
+
+    def test_object_bound_is_below_task_bound(self):
+        # The headline: at f=e=2 the object needs only 5 processes where
+        # the task needs 6 and Fast Paxos 7.
+        assert min_processes_object(2, 2) == 5
+        assert min_processes_task(2, 2) == 6
+        assert min_processes_lamport_fast(2, 2) == 7
+        report = check_object_two_step(twostep_object_builder(2, 2), 5, 2)
+        assert report.satisfied
+
+
+class TestFastPaxos:
+    def test_satisfies_definition4_at_lamport_bound(self):
+        f = e = 2
+        n = min_processes_lamport_fast(f, e)
+        report = check_task_two_step(
+            fast_paxos_builder(f, e),
+            n,
+            e,
+            max_configurations=16,
+            max_faulty_sets=10,
+        )
+        assert report.satisfied, report.describe()
+
+
+class TestPaxosNegative:
+    @pytest.mark.parametrize("e", [1, 2])
+    def test_paxos_not_e_two_step(self, e):
+        """§2: Paxos is not e-two-step for any e > 0 — whenever the
+        initial leader is in E, no process can decide by 2Δ."""
+        report = check_task_two_step(
+            paxos_builder(2), 5, e, max_configurations=4
+        )
+        assert not report.satisfied
+        # Every failure involves a faulty set containing the leader 0.
+        assert all("E=[0" in failure for failure in report.failures)
+
+    def test_paxos_zero_two_step(self):
+        """With e = 0 (no crash may happen) the leader always decides by
+        2Δ, so Paxos IS 0-two-step — the definitions coincide there."""
+        report = check_task_two_step(
+            paxos_builder(2), 5, 0, max_configurations=8
+        )
+        assert report.satisfied, report.describe()
+
+
+class TestReportRendering:
+    def test_describe_mentions_status(self):
+        report = check_task_two_step(
+            paxos_builder(1), 3, 1, max_configurations=2
+        )
+        text = report.describe()
+        assert "VIOLATED" in text
+        assert "runs" in text

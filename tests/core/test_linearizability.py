@@ -1,0 +1,115 @@
+"""Tests for the consensus-object linearizability checker.
+
+The closed-form criterion is cross-validated against the brute-force
+enumerator on randomized histories — the classic pattern for trusting a
+fast checker.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HistoryError
+from repro.core.linearizability import (
+    History,
+    Operation,
+    check_linearizable,
+    is_linearizable,
+    linearizable_bruteforce,
+)
+
+
+def op(pid, arg, invoke, response=None, result=None):
+    return Operation(
+        pid=pid, argument=arg, invoke_time=invoke, response_time=response, result=result
+    )
+
+
+class TestBasicCases:
+    def test_empty_history(self):
+        assert is_linearizable(History())
+
+    def test_single_successful_propose(self):
+        history = History([op(0, "a", 0.0, 2.0, "a")])
+        assert is_linearizable(history)
+
+    def test_pending_only(self):
+        history = History([op(0, "a", 0.0)])
+        assert is_linearizable(history)
+
+    def test_wrong_self_result(self):
+        # A lone proposer must get its own value back.
+        history = History([op(0, "a", 0.0, 2.0, "b")])
+        assert not is_linearizable(history)
+
+    def test_two_agreeing_operations(self):
+        history = History(
+            [op(0, "a", 0.0, 2.0, "a"), op(1, "b", 0.5, 2.5, "a")]
+        )
+        assert is_linearizable(history)
+
+    def test_disagreeing_results(self):
+        history = History(
+            [op(0, "a", 0.0, 2.0, "a"), op(1, "b", 0.5, 2.5, "b")]
+        )
+        violations = check_linearizable(history)
+        assert violations and "distinct values" in violations[0].description
+
+    def test_winner_from_pending_operation(self):
+        # The winner's proposer crashed before returning: its pending op
+        # may still linearize first.
+        history = History(
+            [op(0, "a", 0.0), op(1, "b", 0.5, 3.0, "a")]
+        )
+        assert is_linearizable(history)
+
+    def test_winner_invoked_too_late(self):
+        # "a" was only proposed after an operation already returned "a":
+        # nothing can have decided "a" by then.
+        history = History(
+            [op(1, "b", 0.0, 1.0, "a"), op(0, "a", 5.0, 6.0, "a")]
+        )
+        assert not is_linearizable(history)
+
+    def test_winner_invoked_exactly_at_first_response(self):
+        # Inclusive boundary: linearization points may coincide.
+        history = History(
+            [op(1, "b", 0.0, 1.0, "a"), op(0, "a", 1.0, 2.0, "a")]
+        )
+        assert is_linearizable(history)
+
+
+class TestHistoryValidation:
+    def test_response_before_invoke_rejected(self):
+        with pytest.raises(HistoryError):
+            History([op(0, "a", 5.0, 1.0, "a")])
+
+    def test_bruteforce_size_guard(self):
+        history = History([op(i, "a", float(i), float(i) + 1, "a") for i in range(9)])
+        with pytest.raises(HistoryError, match="limited"):
+            linearizable_bruteforce(history)
+
+
+class TestAgainstBruteForce:
+    @staticmethod
+    def _histories(draw):
+        count = draw(st.integers(min_value=1, max_value=4))
+        values = ["a", "b"]
+        operations = []
+        for pid in range(count):
+            arg = draw(st.sampled_from(values))
+            invoke = draw(st.floats(min_value=0, max_value=5))
+            completed = draw(st.booleans())
+            if completed:
+                duration = draw(st.floats(min_value=0, max_value=5))
+                result = draw(st.sampled_from(values))
+                operations.append(op(pid, arg, invoke, invoke + duration, result))
+            else:
+                operations.append(op(pid, arg, invoke))
+        return History(operations)
+
+    @given(st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_fast_checker_matches_bruteforce(self, data):
+        history = self._histories(data.draw)
+        assert is_linearizable(history) == linearizable_bruteforce(history)

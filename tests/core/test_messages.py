@@ -1,0 +1,42 @@
+"""Tests for the message base class utilities."""
+
+from dataclasses import dataclass
+
+from repro.core import Message, message_sort_key
+from repro.protocols.twostep import OneA, Propose, TwoB
+
+
+class TestMessageBasics:
+    def test_kind_is_class_name(self):
+        assert Propose(1).kind == "Propose"
+        assert TwoB(0, 1).kind == "TwoB"
+
+    def test_fields_ordered(self):
+        assert list(TwoB(0, "v").fields().items()) == [("ballot", 0), ("value", "v")]
+
+    def test_describe(self):
+        assert Propose(7).describe() == "Propose(value=7)"
+
+    def test_frozen_and_hashable(self):
+        assert hash(Propose(1)) == hash(Propose(1))
+        assert Propose(1) == Propose(1)
+        assert Propose(1) != Propose(2)
+
+
+class TestSortKey:
+    def test_orders_by_kind_first(self):
+        assert message_sort_key(OneA(5)) < message_sort_key(Propose(0))
+
+    def test_stable_within_kind(self):
+        a, b = Propose(1), Propose(2)
+        assert (message_sort_key(a) < message_sort_key(b)) == (
+            repr(a.fields()) < repr(b.fields())
+        )
+
+    def test_custom_message_subclass(self):
+        @dataclass(frozen=True)
+        class Ping(Message):
+            token: int
+
+        assert Ping(3).kind == "Ping"
+        assert message_sort_key(Ping(3)) == ("Ping", "{'token': 3}")

@@ -1,0 +1,97 @@
+"""Tests for the Process/Context abstractions."""
+
+import pytest
+
+from repro.core import CLIENT, Context, Message, Process
+from repro.sim import Arena
+
+
+class Minimal(Process):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.inbox = []
+
+    def on_start(self, ctx: Context) -> None:
+        pass
+
+    def on_message(self, ctx: Context, sender, message) -> None:
+        self.inbox.append((sender, message))
+
+
+class TestProcessValidation:
+    def test_rejects_empty_system(self):
+        with pytest.raises(ValueError):
+            Minimal(0, 0)
+
+    def test_rejects_out_of_range_pid(self):
+        with pytest.raises(ValueError):
+            Minimal(5, 3)
+        with pytest.raises(ValueError):
+            Minimal(-1, 3)
+
+    def test_repr(self):
+        assert repr(Minimal(1, 3)) == "<Minimal pid=1 n=3>"
+
+    def test_default_timer_handler_is_noop(self):
+        Minimal(0, 1).on_timer(None, "x")
+
+    def test_snapshot_exposes_public_state(self):
+        process = Minimal(1, 3)
+        process.counter = 7
+        process._secret = "hidden"
+        snapshot = process.snapshot()
+        assert snapshot["counter"] == 7
+        assert "_secret" not in snapshot
+        assert snapshot["pid"] == 1
+
+
+class TestContextHelpers:
+    def _arena(self, n=4):
+        return Arena(lambda pid, total: Minimal(pid, total), n)
+
+    def test_others_excludes_self(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Probe(Message):
+            pass
+
+        class Prober(Minimal):
+            def on_start(self, ctx):
+                assert ctx.pid not in ctx.others
+                assert len(ctx.others) == ctx.n - 1
+                ctx.broadcast(Probe())
+
+        arena = Arena(lambda pid, total: Prober(pid, total), 4)
+        arena.start(0)
+        assert len(arena.pending_messages(sender=0)) == 3
+
+    def test_broadcast_include_self(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Probe(Message):
+            pass
+
+        class SelfProber(Minimal):
+            def on_start(self, ctx):
+                ctx.broadcast(Probe(), include_self=True)
+
+        arena = Arena(lambda pid, total: SelfProber(pid, total), 3)
+        arena.start(1)
+        receivers = {pm.receiver for pm in arena.pending_messages(sender=1)}
+        assert receivers == {0, 1, 2}
+
+    def test_client_sender_id_reserved(self):
+        assert CLIENT == -1
+        arena = self._arena()
+        arena.start_all()
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Req(Message):
+            pass
+
+        uid = arena.inject(2, Req())
+        arena.deliver(arena.pending[uid])
+        assert arena.processes[2].inbox == [(CLIENT, Req())]

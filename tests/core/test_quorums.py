@@ -1,0 +1,118 @@
+"""Tests for quorum arithmetic, including the intersection properties the
+protocols rely on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError
+from repro.core.quorums import (
+    classic_quorum_size,
+    classic_quorums_intersect,
+    fast_classic_intersect_two,
+    fast_quorum_size,
+    fast_survivors_lower_bound,
+    is_classic_quorum,
+    is_fast_quorum,
+    recovery_threshold,
+    validate_resilience,
+)
+
+# (n, f, e) grids used across parametrized tests.
+VALID_CONFIGS = [
+    (3, 1, 0),
+    (3, 1, 1),
+    (5, 2, 1),
+    (5, 2, 2),
+    (6, 2, 2),
+    (7, 2, 2),
+    (7, 3, 2),
+    (9, 3, 3),
+    (11, 5, 3),
+]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n,f,e", VALID_CONFIGS)
+    def test_valid_configs_pass(self, n, f, e):
+        validate_resilience(n, f, e)
+
+    def test_rejects_too_few_processes(self):
+        with pytest.raises(ConfigurationError, match="2f\\+1"):
+            validate_resilience(4, 2, 0)
+
+    def test_rejects_e_above_f(self):
+        with pytest.raises(ConfigurationError, match="0 <= e <= f"):
+            validate_resilience(7, 2, 3)
+
+    def test_rejects_negative_f(self):
+        with pytest.raises(ConfigurationError):
+            validate_resilience(3, -1, 0)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ConfigurationError):
+            validate_resilience(0, 0, 0)
+
+
+class TestSizes:
+    def test_classic_quorum(self):
+        assert classic_quorum_size(5, 2) == 3
+
+    def test_fast_quorum(self):
+        assert fast_quorum_size(6, 2) == 4
+
+    def test_recovery_threshold(self):
+        assert recovery_threshold(6, 2, 2) == 2
+
+    @pytest.mark.parametrize("n,f,e", VALID_CONFIGS)
+    def test_survivor_bound_equals_threshold(self, n, f, e):
+        assert fast_survivors_lower_bound(n, f, e) == recovery_threshold(n, f, e)
+
+
+class TestIntersections:
+    @given(st.integers(min_value=0, max_value=20))
+    def test_classic_intersection_iff_2f_plus_1(self, f):
+        assert classic_quorums_intersect(2 * f + 1, f)
+        if f >= 1:
+            assert not classic_quorums_intersect(2 * f, f)
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_fast_paxos_condition_iff_lamport_bound(self, f, e):
+        bound = 2 * e + f + 1
+        assert fast_classic_intersect_two(bound, f, e)
+        if bound > 1:
+            assert not fast_classic_intersect_two(bound - 1, f, e)
+
+    @given(st.data())
+    def test_concrete_intersection_matches_formula(self, data):
+        """Set-level check: the arithmetic predicts actual intersections."""
+        f = data.draw(st.integers(min_value=1, max_value=3))
+        e = data.draw(st.integers(min_value=1, max_value=f))
+        n = data.draw(st.integers(min_value=2 * f + 1, max_value=2 * e + f + 3))
+        processes = list(range(n))
+        # two worst-case (disjoint-as-possible) fast quorums + one classic
+        fast_a = set(processes[: fast_quorum_size(n, e)])
+        fast_b = set(processes[n - fast_quorum_size(n, e):])
+        classic = set(processes[: classic_quorum_size(n, f)])
+        nonempty = bool(fast_a & fast_b & classic)
+        # The formula claims intersection for ALL choices; the worst case
+        # above is the binding one for the suffix/prefix layout.
+        if fast_classic_intersect_two(n, f, e):
+            assert nonempty
+
+
+class TestMembership:
+    def test_is_classic_quorum(self):
+        assert is_classic_quorum({0, 1, 2}, 5, 2)
+        assert not is_classic_quorum({0, 1}, 5, 2)
+
+    def test_is_fast_quorum(self):
+        assert is_fast_quorum({0, 1, 2, 3}, 6, 2)
+        assert not is_fast_quorum({0, 1, 2}, 6, 2)
+
+    def test_rejects_out_of_range_pid(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            is_classic_quorum({0, 9}, 5, 2)

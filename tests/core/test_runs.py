@@ -1,0 +1,157 @@
+"""Tests for run records: decisions, crashes, projections, views."""
+
+import pytest
+
+from repro.core import (
+    BOTTOM,
+    CrashRecord,
+    DecideRecord,
+    DeliverRecord,
+    ProtocolError,
+    Run,
+    SendRecord,
+    TimerSetRecord,
+)
+from repro.protocols.twostep import Propose
+
+
+def _send(t, src, dst, value=1):
+    return SendRecord(time=t, sender=src, receiver=dst, message=Propose(value))
+
+
+def _recv(t, src, dst, value=1):
+    return DeliverRecord(time=t, sender=src, receiver=dst, message=Propose(value))
+
+
+class TestDecisions:
+    def test_first_decision_recorded(self):
+        run = Run(3)
+        run.add(DecideRecord(time=2.0, pid=1, value="x"))
+        assert run.decided_value(1) == "x"
+        assert run.decision_time(1) == 2.0
+
+    def test_undecided_process(self):
+        run = Run(3)
+        assert run.decided_value(0) is BOTTOM
+        assert run.decision_time(0) is None
+
+    def test_duplicate_same_value_is_ignored(self):
+        run = Run(3)
+        run.add(DecideRecord(time=2.0, pid=1, value="x"))
+        run.add(DecideRecord(time=3.0, pid=1, value="x"))
+        assert run.decision_time(1) == 2.0
+        assert len(run.of_kind(DecideRecord)) == 1
+
+    def test_conflicting_decision_raises(self):
+        run = Run(3)
+        run.add(DecideRecord(time=2.0, pid=1, value="x"))
+        with pytest.raises(ProtocolError, match="decided"):
+            run.add(DecideRecord(time=3.0, pid=1, value="y"))
+
+    def test_decided_values_across_processes(self):
+        run = Run(3)
+        run.add(DecideRecord(time=1.0, pid=0, value="x"))
+        run.add(DecideRecord(time=2.0, pid=1, value="y"))
+        assert run.decided_values() == {"x", "y"}
+
+    def test_deciders_by_deadline(self):
+        run = Run(4)
+        run.add(DecideRecord(time=2.0, pid=0, value="x"))
+        run.add(DecideRecord(time=3.0, pid=1, value="x"))
+        assert run.deciders_by(2.0) == {0}
+        assert run.deciders_by(3.0) == {0, 1}
+
+    def test_is_two_step_for(self):
+        run = Run(4)
+        run.add(DecideRecord(time=2.0, pid=0, value="x"))
+        run.add(DecideRecord(time=2.5, pid=1, value="x"))
+        assert run.is_two_step_for(0, delta=1.0)
+        assert not run.is_two_step_for(1, delta=1.0)
+        assert not run.is_two_step_for(2, delta=1.0)
+
+
+class TestCrashes:
+    def test_crash_tracking(self):
+        run = Run(4)
+        run.add(CrashRecord(time=0.0, pid=2))
+        assert run.crashed == {2}
+        assert run.correct == {0, 1, 3}
+
+
+class TestProjections:
+    def test_message_count_and_histogram(self):
+        run = Run(3)
+        run.add(_send(0.0, 0, 1))
+        run.add(_send(0.0, 0, 2))
+        run.add(_recv(1.0, 0, 1))
+        assert run.message_count() == 2
+        assert run.messages_by_kind() == {"Propose": 2}
+
+    def test_steps_of_attribution(self):
+        run = Run(3)
+        run.add(_send(0.0, 0, 1))  # attributed to 0
+        run.add(_recv(1.0, 0, 1))  # attributed to 1
+        run.add(DecideRecord(time=2.0, pid=2, value=1))  # attributed to 2
+        assert len(run.steps_of([0])) == 1
+        assert len(run.steps_of([1])) == 1
+        assert len(run.steps_of([0, 1, 2])) == 3
+
+
+class TestViews:
+    def _run_with(self, records):
+        run = Run(3)
+        for record in records:
+            run.add(record)
+        return run
+
+    def test_identical_views(self):
+        a = self._run_with([_send(0.0, 0, 1), _recv(1.0, 0, 1)])
+        b = self._run_with([_send(5.0, 0, 1), _recv(9.0, 0, 1)])
+        # Times differ but the normalized views must match: processes
+        # cannot read a global clock.
+        assert a.views_equal(b, [0, 1])
+
+    def test_differing_views_detected(self):
+        a = self._run_with([_send(0.0, 0, 1, value=1)])
+        b = self._run_with([_send(0.0, 0, 1, value=2)])
+        assert not a.views_equal(b, [0])
+        assert a.views_equal(b, [1])  # process 1 saw nothing in either
+
+    def test_timer_records_are_part_of_views(self):
+        a = self._run_with([TimerSetRecord(time=0.0, pid=0, name="t", deadline=2.0)])
+        b = self._run_with([])
+        assert not a.views_equal(b, [0])
+
+    def test_timer_deadline_not_compared(self):
+        # Deadlines are absolute times; processes can't observe them.
+        a = self._run_with([TimerSetRecord(time=0.0, pid=0, name="t", deadline=2.0)])
+        b = self._run_with([TimerSetRecord(time=5.0, pid=0, name="t", deadline=7.0)])
+        assert a.views_equal(b, [0])
+
+
+class TestFormatting:
+    def test_format_produces_one_line_per_record(self):
+        run = Run(3)
+        run.add(_send(0.0, 0, 1))
+        run.add(DecideRecord(time=2.0, pid=0, value=1))
+        assert len(run.format().splitlines()) == 2
+
+    def test_format_limit(self):
+        run = Run(3)
+        for i in range(5):
+            run.add(_send(float(i), 0, 1))
+        text = run.format(limit=2)
+        assert "3 more records" in text
+
+    def test_repr_mentions_counts(self):
+        run = Run(3)
+        run.add(DecideRecord(time=1.0, pid=0, value=1))
+        assert "decided=1" in repr(run)
+
+
+class TestProposalRecording:
+    def test_record_proposal(self):
+        run = Run(3)
+        run.record_proposal(1, "v", time=0.5)
+        assert run.proposals[1] == "v"
+        assert len(run.records) == 1

@@ -1,0 +1,118 @@
+"""Tests for the consensus specification checkers."""
+
+import pytest
+
+from repro.core import (
+    BOTTOM,
+    CrashRecord,
+    DecideRecord,
+    Run,
+    SpecViolationError,
+    check_agreement,
+    check_consensus,
+    check_termination,
+    check_validity,
+    decided_value_or_none,
+    require_agreement,
+    require_consensus,
+)
+
+
+def _run(n=3, proposals=None, decisions=(), crashes=()):
+    run = Run(n, proposals or {pid: pid + 10 for pid in range(n)})
+    for pid in crashes:
+        run.add(CrashRecord(time=0.0, pid=pid))
+    for time, pid, value in decisions:
+        run.add(DecideRecord(time=time, pid=pid, value=value))
+    return run
+
+
+class TestValidity:
+    def test_valid_decision_passes(self):
+        run = _run(decisions=[(2.0, 0, 10)])
+        assert check_validity(run) == []
+
+    def test_unproposed_value_flagged(self):
+        run = _run(decisions=[(2.0, 0, 999)])
+        violations = check_validity(run)
+        assert len(violations) == 1
+        assert "999" in violations[0].description
+
+    def test_bottom_decision_flagged(self):
+        run = _run(decisions=[(2.0, 0, BOTTOM)])
+        assert check_validity(run)
+
+    def test_object_style_partial_proposals(self):
+        run = _run(proposals={1: "v"}, decisions=[(2.0, 0, "v")])
+        assert check_validity(run) == []
+
+
+class TestAgreement:
+    def test_single_value_passes(self):
+        run = _run(decisions=[(2.0, 0, 10), (3.0, 1, 10)])
+        assert check_agreement(run) == []
+
+    def test_no_decisions_pass(self):
+        assert check_agreement(_run()) == []
+
+    def test_two_values_flagged(self):
+        run = _run(decisions=[(2.0, 0, 10), (3.0, 1, 11)])
+        violations = check_agreement(run)
+        assert len(violations) == 1
+        assert "distinct decisions" in violations[0].description
+
+    def test_require_agreement_raises(self):
+        run = _run(decisions=[(2.0, 0, 10), (3.0, 1, 11)])
+        with pytest.raises(SpecViolationError):
+            require_agreement(run)
+
+
+class TestTermination:
+    def test_all_correct_decided_passes(self):
+        run = _run(decisions=[(2.0, 0, 10), (2.0, 1, 10), (2.0, 2, 10)])
+        assert check_termination(run) == []
+
+    def test_crashed_processes_exempt(self):
+        run = _run(decisions=[(2.0, 0, 10), (2.0, 1, 10)], crashes=[2])
+        assert check_termination(run) == []
+
+    def test_missing_correct_process_flagged(self):
+        run = _run(decisions=[(2.0, 0, 10)])
+        violations = check_termination(run)
+        assert len(violations) == 1
+        assert "[1, 2]" in violations[0].description
+
+    def test_explicit_expected_set(self):
+        run = _run(decisions=[(2.0, 0, 10)])
+        assert check_termination(run, expected=[0]) == []
+        assert check_termination(run, expected=[0, 1])
+
+
+class TestCombined:
+    def test_check_consensus_aggregates(self):
+        run = _run(decisions=[(2.0, 0, 999), (3.0, 1, 10)])
+        kinds = {v.property_name for v in check_consensus(run)}
+        assert kinds == {"validity", "agreement", "termination"}
+
+    def test_require_consensus_raises_with_details(self):
+        run = _run(decisions=[(2.0, 0, 999)])
+        with pytest.raises(SpecViolationError, match="validity"):
+            require_consensus(run)
+
+    def test_require_consensus_green(self):
+        run = _run(decisions=[(2.0, 0, 10), (2.0, 1, 10), (2.0, 2, 10)])
+        require_consensus(run)
+
+
+class TestDecidedValue:
+    def test_none_when_undecided(self):
+        assert decided_value_or_none(_run()) is None
+
+    def test_unique_value(self):
+        run = _run(decisions=[(2.0, 0, 10)])
+        assert decided_value_or_none(run) == 10
+
+    def test_raises_on_disagreement(self):
+        run = _run(decisions=[(2.0, 0, 10), (3.0, 1, 11)])
+        with pytest.raises(SpecViolationError):
+            decided_value_or_none(run)

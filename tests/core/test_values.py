@@ -1,0 +1,115 @@
+"""Tests for the BOTTOM sentinel and value utilities."""
+
+import copy
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.values import (
+    BOTTOM,
+    _Bottom,
+    is_bottom,
+    max_value,
+    require_comparable,
+)
+
+
+class TestBottomSingleton:
+    def test_constructor_returns_singleton(self):
+        assert _Bottom() is BOTTOM
+
+    def test_copy_preserves_identity(self):
+        assert copy.copy(BOTTOM) is BOTTOM
+        assert copy.deepcopy(BOTTOM) is BOTTOM
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"
+
+    def test_falsy(self):
+        assert not BOTTOM
+
+    def test_hashable_and_stable(self):
+        assert hash(BOTTOM) == hash(_Bottom())
+
+
+class TestBottomOrdering:
+    @pytest.mark.parametrize("value", [0, -1, 1, "a", "", (1, 2), 3.5])
+    def test_strictly_below_everything(self, value):
+        assert BOTTOM < value
+        assert BOTTOM <= value
+        assert not BOTTOM > value
+        assert not BOTTOM >= value
+
+    @pytest.mark.parametrize("value", [0, -10, "z", ()])
+    def test_reflected_comparisons(self, value):
+        assert value > BOTTOM
+        assert value >= BOTTOM
+        assert not value < BOTTOM
+        assert not value <= BOTTOM
+
+    def test_equal_only_to_itself(self):
+        assert BOTTOM == BOTTOM
+        assert not BOTTOM != BOTTOM
+        assert BOTTOM != 0
+        assert BOTTOM != ""
+        assert BOTTOM != None  # noqa: E711 - deliberate: BOTTOM is not None
+
+    def test_not_less_than_itself(self):
+        assert not BOTTOM < BOTTOM
+        assert BOTTOM <= BOTTOM
+        assert BOTTOM >= BOTTOM
+
+    @given(st.integers())
+    def test_total_order_with_integers(self, value):
+        assert BOTTOM < value
+        assert max_value([BOTTOM, value]) == value
+
+
+class TestIsBottom:
+    def test_positive(self):
+        assert is_bottom(BOTTOM)
+
+    @pytest.mark.parametrize("value", [0, None, False, "", []])
+    def test_negative_for_other_falsy_values(self, value):
+        assert not is_bottom(value)
+
+
+class TestMaxValue:
+    def test_empty_returns_bottom(self):
+        assert max_value([]) is BOTTOM
+
+    def test_all_bottom_returns_bottom(self):
+        assert max_value([BOTTOM, BOTTOM]) is BOTTOM
+
+    def test_picks_maximum(self):
+        assert max_value([3, BOTTOM, 7, 5]) == 7
+
+    @given(st.lists(st.integers(), min_size=1))
+    def test_matches_builtin_max(self, values):
+        assert max_value(values) == max(values)
+
+    @given(st.lists(st.integers()))
+    def test_bottom_padding_never_changes_result(self, values):
+        padded = [BOTTOM] + values + [BOTTOM]
+        assert max_value(padded) == (max(values) if values else BOTTOM)
+
+
+class TestRequireComparable:
+    def test_accepts_homogeneous(self):
+        require_comparable([1, 2, 3, BOTTOM])
+
+    def test_accepts_strings(self):
+        require_comparable(["a", "b"])
+
+    def test_rejects_mixed(self):
+        with pytest.raises(TypeError, match="totally ordered"):
+            require_comparable([1, "a"])
+
+    def test_bottom_never_conflicts(self):
+        require_comparable([BOTTOM])
+        require_comparable([BOTTOM, 5])

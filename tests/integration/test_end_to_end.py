@@ -1,0 +1,154 @@
+"""Full-stack integration tests: real heartbeat Ω, partial synchrony,
+WAN latencies, SMR — everything composed."""
+
+import pytest
+
+from repro.core import require_consensus
+from repro.omega import heartbeat_omega_factory
+from repro.protocols import (
+    ProposeRequest,
+    TwoStepConfig,
+    twostep_object_factory,
+    twostep_task_factory,
+)
+from repro.sim import CrashPlan, FixedLatency, PartialSynchrony, Simulation
+from repro.smr import check_logs_consistent, put_get_workload, run_kv_workload, smr_factory
+from repro.wan import five_regions, round_robin_deployment
+
+
+class TestHeartbeatOmegaIntegration:
+    """The protocols driven by the *real* distributed Ω, not an oracle."""
+
+    def test_task_consensus_with_heartbeat_omega(self):
+        n, f, e = 6, 2, 2
+        proposals = {pid: 50 + pid for pid in range(n)}
+        factory = twostep_task_factory(
+            proposals, f, e, omega_factory=heartbeat_omega_factory(delta=1.0)
+        )
+        sim = Simulation(factory, n, latency=FixedLatency(1.0), proposals=proposals)
+        run = sim.run_until_all_decide(until=100.0)
+        require_consensus(run)
+
+    def test_task_consensus_heartbeat_omega_with_crashes(self):
+        n, f, e = 6, 2, 2
+        proposals = {pid: 50 + pid for pid in range(n)}
+        factory = twostep_task_factory(
+            proposals, f, e, omega_factory=heartbeat_omega_factory(delta=1.0)
+        )
+        sim = Simulation(
+            factory,
+            n,
+            latency=FixedLatency(1.0),
+            crashes=CrashPlan.at(0.5, [0, 5]),  # leader AND max proposer die
+            proposals=proposals,
+        )
+        run = sim.run_until_all_decide(until=200.0)
+        require_consensus(run)
+
+    def test_object_consensus_heartbeat_omega_partial_synchrony(self):
+        n, f, e = 5, 2, 2
+        factory = twostep_object_factory(
+            f, e, omega_factory=heartbeat_omega_factory(delta=1.0)
+        )
+        latency = PartialSynchrony(delta=1.0, gst=12.0, pre_gst_max=6.0, seed=4)
+        sim = Simulation(factory, n, latency=latency)
+        sim.inject(0.0, 2, ProposeRequest("a"))
+        sim.inject(0.5, 4, ProposeRequest("b"))
+        sim.run_record.proposals.update({2: "a", 4: "b"})
+        run = sim.run_until_all_decide(until=250.0)
+        require_consensus(run)
+
+    def test_paxos_with_heartbeat_omega_leader_crash(self):
+        from repro.protocols import paxos_factory
+
+        n, f = 5, 2
+        proposals = {pid: pid for pid in range(n)}
+        factory = paxos_factory(
+            proposals, f, omega_factory=heartbeat_omega_factory(delta=1.0)
+        )
+        sim = Simulation(
+            factory,
+            n,
+            latency=FixedLatency(1.0),
+            crashes=CrashPlan.at(2.5, [0]),
+            proposals=proposals,
+        )
+        run = sim.run_until_all_decide(until=200.0)
+        require_consensus(run)
+
+
+class TestDeterminismAcrossStack:
+    def _signature(self):
+        n, f, e = 5, 2, 2
+        factory = twostep_object_factory(
+            f, e, omega_factory=heartbeat_omega_factory(delta=1.0)
+        )
+        latency = PartialSynchrony(delta=1.0, gst=8.0, seed=11)
+        sim = Simulation(factory, n, latency=latency)
+        sim.inject(0.0, 1, ProposeRequest("x"))
+        sim.inject(1.0, 3, ProposeRequest("y"))
+        run = sim.run(until=60.0)
+        return [repr(record) for record in run.records]
+
+    def test_identical_traces(self):
+        assert self._signature() == self._signature()
+
+
+class TestSmrOnWan:
+    def test_geo_replicated_kv_service(self):
+        f = e = 2
+        n = 5
+        deployment = round_robin_deployment(five_regions(), n)
+        delta = deployment.delta()
+        factory = smr_factory(
+            f,
+            e,
+            delta=delta,
+            omega_factory=heartbeat_omega_factory(delta=delta),
+            consensus_config=TwoStepConfig(f=f, e=e, delta=delta, is_object=True),
+        )
+        ops = put_get_workload(
+            5, ["k1", "k2"], proxies=list(range(n)), spacing=5 * delta
+        )
+        outcome = run_kv_workload(
+            factory,
+            n,
+            ops,
+            until=60 * delta,
+            latency=deployment.latency_model(),
+        )
+        assert not outcome.unfinished
+        assert check_logs_consistent(outcome.replicas) == []
+        # Commit latencies are on the WAN scale: tens to hundreds of ms.
+        for latency_ms in outcome.commit_latency.values():
+            assert 1.0 <= latency_ms <= 2 * delta
+
+
+class TestCrossValidation:
+    """The positive and negative results must cohere: the same protocol
+    that satisfies the definitions at the bound is broken one process
+    below by the witness."""
+
+    def test_task_boundary_is_sharp(self):
+        from repro.bounds import task_lower_bound_witness
+        from repro.checks import check_task_two_step, twostep_task_builder
+
+        f = e = 2
+        at_bound = check_task_two_step(
+            twostep_task_builder(f, e), 6, e, max_configurations=8
+        )
+        assert at_bound.satisfied
+        below = task_lower_bound_witness(f, e)
+        assert below.violation_found
+
+    def test_object_boundary_is_sharp(self):
+        from repro.bounds import object_lower_bound_witness
+        from repro.checks import check_object_two_step, twostep_object_builder
+
+        f = e = 3
+        at_bound = check_object_two_step(
+            twostep_object_builder(f, e), 8, e, max_faulty_sets=6
+        )
+        assert at_bound.satisfied
+        below = object_lower_bound_witness(f, e)
+        assert below.violation_found

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run clean and say what it
+promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "two-step!" in out
+        assert "7 vs 6 vs 5" in out
+        assert "violations: none" in out
+
+    def test_lower_bound_witness(self):
+        out = run_example("lower_bound_witness.py")
+        assert out.count("AGREEMENT VIOLATION") >= 4
+        assert "views identical" in out
+
+    def test_wan_replication(self):
+        out = run_example("wan_replication.py")
+        assert "Commit latency vs process count" in out
+        assert "saves" in out
+
+    def test_kv_store_smr(self):
+        out = run_example("kv_store_smr.py")
+        assert "violations: none" in out
+        assert "final log at replica 0" in out
+
+    def test_epaxos_motivation(self):
+        out = run_example("epaxos_motivation.py")
+        assert "two message delays" in out
+        assert "object bound admits it" in out
+
+    def test_trace_anatomy(self):
+        out = run_example("trace_anatomy.py")
+        assert "DECIDES 105" in out
+        assert "two-step deciders: [5]" in out
+
+    def test_explore_safety(self):
+        out = run_example("explore_safety.py")
+        assert "SAFE" in out and "exhaustive" in out
+        assert "VIOLATION: agreement" in out

@@ -1,0 +1,119 @@
+"""Tests for Ω leader election: oracle and heartbeat implementations."""
+
+import pytest
+
+from repro.core import ConfigurationError, Context, Message, Process
+from repro.omega import (
+    HEARTBEAT_TIMER,
+    Heartbeat,
+    HeartbeatOmega,
+    StaticOmega,
+    heartbeat_omega_factory,
+    lowest_correct_omega_factory,
+    static_omega_factory,
+)
+from repro.sim import CrashPlan, FixedLatency, PartialSynchrony, Simulation
+
+
+class TestStaticOmega:
+    def test_fixed_leader(self):
+        omega = StaticOmega(3)
+        assert omega.leader(0.0) == 3
+        assert omega.leader(100.0) == 3
+
+    def test_time_dependent_leader(self):
+        omega = StaticOmega(lambda now: 0 if now < 5 else 1)
+        assert omega.leader(0.0) == 0
+        assert omega.leader(9.0) == 1
+
+    def test_factory(self):
+        build = static_omega_factory(2)
+        assert build(0, 5).leader(1.0) == 2
+
+    def test_lowest_correct_factory(self):
+        build = lowest_correct_omega_factory({0, 1})
+        assert build(4, 5).leader(0.0) == 2
+
+    def test_lowest_correct_all_faulty_rejected(self):
+        build = lowest_correct_omega_factory({0, 1, 2})
+        with pytest.raises(ConfigurationError):
+            build(0, 3)
+
+
+class OmegaHost(Process):
+    """Minimal process hosting a heartbeat Ω, recording leader samples."""
+
+    def __init__(self, pid, n, delta=1.0):
+        super().__init__(pid, n)
+        self.omega = HeartbeatOmega(pid, n, delta)
+        self.samples = []
+
+    def on_start(self, ctx: Context) -> None:
+        self.omega.on_start(ctx)
+        ctx.set_timer("sample", 1.0)
+
+    def on_message(self, ctx: Context, sender, message: Message) -> None:
+        self.omega.handle_message(ctx, sender, message)
+
+    def on_timer(self, ctx: Context, name: str) -> None:
+        if self.omega.handle_timer(ctx, name):
+            return
+        self.samples.append((ctx.now, self.omega.leader(ctx.now)))
+        ctx.set_timer("sample", 1.0)
+
+
+class TestHeartbeatOmega:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeartbeatOmega(0, 3, delta=0)
+        with pytest.raises(ConfigurationError):
+            HeartbeatOmega(0, 3, delta=1.0, heartbeat_interval=5.0, suspect_timeout=2.0)
+
+    def test_all_correct_converges_to_process_zero(self):
+        sim = Simulation(lambda pid, n: OmegaHost(pid, n), 4, latency=FixedLatency(1.0))
+        sim.run(until=20.0)
+        for host in sim.processes:
+            late = [leader for t, leader in host.samples if t > 10]
+            assert set(late) == {0}
+
+    def test_crashed_leader_eventually_replaced(self):
+        sim = Simulation(
+            lambda pid, n: OmegaHost(pid, n),
+            4,
+            latency=FixedLatency(1.0),
+            crashes=CrashPlan.at(5.0, [0]),
+        )
+        sim.run(until=30.0)
+        for host in sim.processes[1:]:
+            late = [leader for t, leader in host.samples if t > 15]
+            assert set(late) == {1}
+
+    def test_converges_after_gst_despite_chaos(self):
+        latency = PartialSynchrony(delta=1.0, gst=15.0, pre_gst_max=8.0, seed=5)
+        sim = Simulation(lambda pid, n: OmegaHost(pid, n), 4, latency=latency)
+        sim.run(until=40.0)
+        for host in sim.processes:
+            late = [leader for t, leader in host.samples if t > 25]
+            assert set(late) == {0}
+
+    def test_self_always_trusted(self):
+        omega = HeartbeatOmega(2, 3, delta=1.0)
+        trusted = omega.trusted(1000.0)
+        assert 2 in trusted
+
+    def test_heartbeat_factory(self):
+        build = heartbeat_omega_factory(delta=2.0)
+        omega = build(1, 3)
+        assert omega.heartbeat_interval == 2.0
+        assert omega.suspect_timeout == 8.0
+
+    def test_heartbeats_consumed_not_leaked(self):
+        host = OmegaHost(0, 3)
+
+        class Ctx:
+            now = 4.5
+
+        consumed = host.omega.handle_message(Ctx(), 1, Heartbeat())
+        assert consumed
+        assert host.omega.last_heard[1] == 4.5
+        assert not host.omega.handle_message(Ctx(), 1, object())

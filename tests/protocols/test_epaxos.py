@@ -1,0 +1,197 @@
+"""Tests for the EPaxos replica: fast path, conflicts, recovery, execution."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.protocols.epaxos import (
+    Command,
+    EPaxosReplica,
+    Request,
+    STATUS_COMMITTED,
+    STATUS_EXECUTED,
+    epaxos_factory,
+    epaxos_fast_quorum,
+)
+from repro.sim import CrashPlan, FixedLatency, Simulation
+
+
+def simulate(n=5, f=2, crashes=None, until=60.0, requests=()):
+    sim = Simulation(
+        epaxos_factory(f),
+        n,
+        latency=FixedLatency(1.0),
+        crashes=crashes,
+    )
+    for time, proxy, command in requests:
+        sim.inject(time, proxy, Request(command))
+    sim.run(until=until)
+    return sim
+
+
+def executed_everywhere(sim, live=None):
+    replicas = [r for r in sim.processes if live is None or r.pid in live]
+    logs = [[iid for iid in r.execution_log] for r in replicas]
+    return logs
+
+
+class TestConfiguration:
+    def test_fast_quorum_formula(self):
+        assert epaxos_fast_quorum(3, 1) == 2
+        assert epaxos_fast_quorum(5, 2) == 3
+        assert epaxos_fast_quorum(7, 3) == 5
+
+    def test_needs_2f_plus_1(self):
+        with pytest.raises(ConfigurationError):
+            EPaxosReplica(0, 4, 2)
+
+    def test_command_validation(self):
+        with pytest.raises(ValueError):
+            Command("k", "mutate")
+
+    def test_conflict_model(self):
+        put_a = Command("a", "put", 1, "1")
+        get_a = Command("a", "get", None, "2")
+        put_b = Command("b", "put", 1, "3")
+        assert put_a.conflicts_with(get_a)
+        assert get_a.conflicts_with(put_a)
+        assert not get_a.conflicts_with(Command("a", "get", None, "4"))
+        assert not put_a.conflicts_with(put_b)
+
+
+class TestFastPath:
+    def test_conflict_free_commits_in_two_delays(self):
+        sim = simulate(
+            requests=[(0.0, 0, Command("a", "put", 1, "c1"))]
+        )
+        assert sim.processes[0].instances[(0, 0)].committed_at == 2.0
+
+    def test_concurrent_disjoint_keys_all_fast(self):
+        sim = simulate(
+            requests=[
+                (0.0, 0, Command("a", "put", 1, "c1")),
+                (0.0, 1, Command("b", "put", 2, "c2")),
+                (0.0, 2, Command("c", "put", 3, "c3")),
+            ]
+        )
+        for proxy in range(3):
+            assert sim.processes[proxy].instances[(proxy, 0)].committed_at == 2.0
+
+    def test_reads_commute(self):
+        sim = simulate(
+            requests=[
+                (0.0, 0, Command("a", "get", None, "r1")),
+                (0.0, 1, Command("a", "get", None, "r2")),
+            ]
+        )
+        assert sim.processes[0].instances[(0, 0)].committed_at == 2.0
+        assert sim.processes[1].instances[(1, 0)].committed_at == 2.0
+
+    def test_fast_with_e_crashed_replicas(self):
+        f = 2
+        e = 2  # ceil((f+1)/2)
+        sim = simulate(
+            n=5,
+            f=f,
+            crashes=CrashPlan.at_start([3, 4]),
+            requests=[(0.0, 0, Command("a", "put", 1, "c1"))],
+        )
+        assert sim.processes[0].instances[(0, 0)].committed_at == 2.0
+
+
+class TestConflicts:
+    def test_concurrent_conflicts_commit_slow_but_consistently(self):
+        sim = simulate(
+            requests=[
+                (0.0, 0, Command("k", "put", 1, "c1")),
+                (0.0, 1, Command("k", "put", 2, "c2")),
+            ]
+        )
+        logs = executed_everywhere(sim)
+        assert all(log == logs[0] for log in logs)
+        stores = [r.store for r in sim.processes]
+        assert all(store == stores[0] for store in stores)
+
+    def test_sequential_conflicts_stay_fast(self):
+        # Spaced conflicting commands: deps already settled, attrs match.
+        sim = simulate(
+            requests=[
+                (0.0, 0, Command("k", "put", 1, "c1")),
+                (6.0, 1, Command("k", "put", 2, "c2")),
+            ]
+        )
+        assert sim.processes[1].instances[(1, 0)].committed_at == 8.0
+        assert all(r.store == {"k": 2} for r in sim.processes)
+
+    def test_dependency_cycle_executes_consistently(self):
+        sim = simulate(
+            requests=[
+                (0.0, 0, Command("k", "put", 1, "c1")),
+                (0.0, 1, Command("k", "put", 2, "c2")),
+                (0.0, 2, Command("k", "put", 3, "c3")),
+            ],
+            until=80.0,
+        )
+        logs = executed_everywhere(sim)
+        assert all(log == logs[0] for log in logs)
+        assert len(logs[0]) == 3
+
+
+class TestExecution:
+    def test_results_recorded(self):
+        sim = simulate(
+            requests=[
+                (0.0, 0, Command("a", "put", 7, "w")),
+                (6.0, 1, Command("a", "get", None, "r")),
+            ]
+        )
+        assert sim.processes[1].results["r"] == 7
+
+    def test_cas_semantics_through_store(self):
+        replica = EPaxosReplica(0, 5, 2)
+        # direct state-machine check
+        replica.store["x"] = 1
+        command = Command("x", "get", None, "g")
+        replica.results["g"] = replica.store.get("x")
+        assert replica.results["g"] == 1
+
+
+class TestRecovery:
+    def test_leader_crash_after_preaccept_recovers_command(self):
+        sim = simulate(
+            crashes=CrashPlan.at(0.5, [0]),
+            requests=[(0.0, 0, Command("k", "put", 9, "c9"))],
+            until=80.0,
+        )
+        for replica in sim.processes[1:]:
+            state = replica.instances.get((0, 0))
+            assert state is not None
+            assert state.status == STATUS_EXECUTED
+            assert state.command.command_id == "c9"
+            assert replica.store == {"k": 9}
+
+    def test_instance_that_reached_nobody_is_noop(self):
+        # The leader crashes before its PreAccepts are delivered; the
+        # survivors know nothing about the instance and never will. They
+        # also have nothing to recover — the instance simply never exists
+        # for them; no stall, no spurious state.
+        sim = simulate(
+            crashes=CrashPlan.at(0.1, [0]),
+            requests=[(0.0, 0, Command("k", "put", 9, "c9"))],
+            until=80.0,
+        )
+        for replica in sim.processes[1:]:
+            state = replica.instances.get((0, 0))
+            if state is not None:
+                # if a PreAccept slipped out pre-crash, it must resolve
+                assert state.status in (STATUS_COMMITTED, STATUS_EXECUTED)
+
+    def test_crashed_replier_does_not_block_commit(self):
+        sim = simulate(
+            n=7,
+            f=3,
+            crashes=CrashPlan.at_start([5, 6]),
+            requests=[(0.0, 0, Command("k", "put", 1, "c1"))],
+            until=80.0,
+        )
+        state = sim.processes[0].instances[(0, 0)]
+        assert state.status in (STATUS_COMMITTED, STATUS_EXECUTED)

@@ -1,0 +1,127 @@
+"""Tests for the EPaxos dependency-graph execution order."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.epaxos.deps import (
+    CommittedInstance,
+    dependencies_closed,
+    execution_order,
+    tarjan_sccs,
+)
+
+
+def ci(instance, seq, deps=()):
+    return CommittedInstance(instance=instance, seq=seq, deps=frozenset(deps))
+
+
+class TestTarjan:
+    def test_empty(self):
+        assert tarjan_sccs({}) == []
+
+    def test_singletons_no_edges(self):
+        sccs = tarjan_sccs({(0, 0): [], (1, 0): []})
+        assert sorted(map(sorted, sccs)) == [[(0, 0)], [(1, 0)]]
+
+    def test_two_cycle(self):
+        graph = {(0, 0): [(1, 0)], (1, 0): [(0, 0)]}
+        sccs = tarjan_sccs(graph)
+        assert len(sccs) == 1
+        assert sorted(sccs[0]) == [(0, 0), (1, 0)]
+
+    def test_chain_emits_reverse_topological(self):
+        # a -> b -> c: Tarjan emits c first (dependencies execute first).
+        graph = {("a", 0): [("b", 0)], ("b", 0): [("c", 0)], ("c", 0): []}
+        sccs = tarjan_sccs(graph)
+        assert [s[0] for s in sccs] == [("c", 0), ("b", 0), ("a", 0)]
+
+    def test_unknown_successors_skipped(self):
+        graph = {(0, 0): [(9, 9)]}
+        assert tarjan_sccs(graph) == [[(0, 0)]]
+
+    def test_deep_graph_no_recursion_error(self):
+        graph = {(0, i): [(0, i + 1)] for i in range(5000)}
+        graph[(0, 5000)] = []
+        sccs = tarjan_sccs(graph)
+        assert len(sccs) == 5001
+
+
+class TestExecutionOrder:
+    def test_dependencies_first(self):
+        order = execution_order(
+            [ci((0, 0), 2, [(1, 0)]), ci((1, 0), 1)]
+        )
+        assert order == [(1, 0), (0, 0)]
+
+    def test_cycle_ordered_by_seq(self):
+        order = execution_order(
+            [ci((0, 0), 2, [(1, 0)]), ci((1, 0), 1, [(0, 0)])]
+        )
+        assert order == [(1, 0), (0, 0)]
+
+    def test_cycle_seq_tie_broken_by_instance(self):
+        order = execution_order(
+            [ci((1, 0), 5, [(0, 0)]), ci((0, 0), 5, [(1, 0)])]
+        )
+        assert order == [(0, 0), (1, 0)]
+
+    def test_missing_dependency_ignored(self):
+        order = execution_order([ci((0, 0), 1, [(9, 9)])])
+        assert order == [(0, 0)]
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_all_replicas_agree_on_order(self, seed):
+        """The core SMR property: execution order is a pure function of the
+        committed (instance, seq, deps) set — input order is irrelevant."""
+        rng = random.Random(seed)
+        count = rng.randint(1, 12)
+        instances = []
+        ids = [(rng.randint(0, 2), i) for i in range(count)]
+        for iid in ids:
+            deps = [d for d in ids if d != iid and rng.random() < 0.4]
+            instances.append(ci(iid, rng.randint(1, 5), deps))
+        reference = execution_order(instances)
+        shuffled = instances[:]
+        rng.shuffle(shuffled)
+        assert execution_order(shuffled) == reference
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_order_respects_acyclic_dependencies(self, seed):
+        rng = random.Random(seed)
+        count = rng.randint(2, 10)
+        ids = [(0, i) for i in range(count)]
+        instances = []
+        for index, iid in enumerate(ids):
+            # Only backward edges: the graph is acyclic by construction.
+            deps = [ids[j] for j in range(index) if rng.random() < 0.5]
+            instances.append(ci(iid, rng.randint(1, 5), deps))
+        order = execution_order(instances)
+        position = {iid: k for k, iid in enumerate(order)}
+        for instance in instances:
+            for dep in instance.deps:
+                assert position[dep] < position[instance.instance]
+
+
+class TestDependenciesClosed:
+    def test_closed(self):
+        committed = {
+            (0, 0): ci((0, 0), 1, [(1, 0)]),
+            (1, 0): ci((1, 0), 1),
+        }
+        assert dependencies_closed(committed, [(0, 0)])
+
+    def test_open(self):
+        committed = {(0, 0): ci((0, 0), 1, [(1, 0)])}
+        assert not dependencies_closed(committed, [(0, 0)])
+
+    def test_cyclic_closure_terminates(self):
+        committed = {
+            (0, 0): ci((0, 0), 1, [(1, 0)]),
+            (1, 0): ci((1, 0), 1, [(0, 0)]),
+        }
+        assert dependencies_closed(committed, [(0, 0), (1, 0)])

@@ -1,0 +1,95 @@
+"""Property-based EPaxos tests: random workloads must stay consistent.
+
+The SMR safety property: all replicas execute interfering commands in
+the same order, hence converge to the same store — for any workload mix,
+submission timing, and crash pattern within the budget.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.epaxos import Command, Request, epaxos_factory
+from repro.sim import CrashPlan, FixedLatency, Simulation
+
+WORKLOAD_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+KEYS = ["a", "b"]
+
+
+@st.composite
+def workloads(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    ops = []
+    for index in range(count):
+        key = draw(st.sampled_from(KEYS))
+        op = draw(st.sampled_from(["put", "get"]))
+        proxy = draw(st.integers(min_value=0, max_value=4))
+        at = draw(st.sampled_from([0.0, 0.0, 1.0, 3.0, 6.0]))
+        command = Command(key, op, index if op == "put" else None, f"c{index}")
+        ops.append((at, proxy, command))
+    crash = draw(
+        st.sampled_from([None, None, CrashPlan.at(1.5, [4]), CrashPlan.at_start([3, 4])])
+    )
+    return ops, crash
+
+
+def per_key_writes(replica):
+    """Per-key sequence of executed writes (reads commute; their relative
+    order is legitimately replica-local)."""
+    projections = {}
+    for iid in replica.execution_log:
+        command = replica.instances[iid].command
+        if command is None or not command.key or command.op != "put":
+            continue
+        projections.setdefault(command.key, []).append(iid)
+    return projections
+
+
+class TestWorkloadConsistency:
+    @given(workloads())
+    @WORKLOAD_SETTINGS
+    def test_writes_execute_in_one_order_and_reads_agree(self, workload):
+        ops, crash = workload
+        n, f = 5, 2
+        sim = Simulation(
+            epaxos_factory(f), n, latency=FixedLatency(1.0), crashes=crash
+        )
+        crashed = set(crash.crashed_pids) if crash else set()
+        for at, proxy, command in ops:
+            sim.inject(at, proxy, Request(command))
+        sim.run(until=120.0)
+
+        live = [r for r in sim.processes if r.pid not in crashed]
+        reference = per_key_writes(live[0])
+        for replica in live[1:]:
+            mine = per_key_writes(replica)
+            for key in set(reference) & set(mine):
+                shorter = min(len(reference[key]), len(mine[key]))
+                assert mine[key][:shorter] == reference[key][:shorter], (
+                    f"replicas diverge on writes to {key!r}"
+                )
+            # Any command executed at two replicas must produce the same
+            # result (reads observe identical write prefixes).
+            for command_id in set(live[0].results) & set(replica.results):
+                assert replica.results[command_id] == live[0].results[command_id]
+
+    @given(workloads())
+    @WORKLOAD_SETTINGS
+    def test_stores_agree_on_fully_executed_runs(self, workload):
+        ops, crash = workload
+        if crash is not None:
+            return  # crash-free case: everything must fully execute
+        n, f = 5, 2
+        sim = Simulation(epaxos_factory(f), n, latency=FixedLatency(1.0))
+        for at, proxy, command in ops:
+            sim.inject(at, proxy, Request(command))
+        sim.run(until=150.0)
+        stores = [replica.store for replica in sim.processes]
+        assert all(store == stores[0] for store in stores)
+        logs = [len(replica.execution_log) for replica in sim.processes]
+        assert all(count == len(ops) for count in logs)

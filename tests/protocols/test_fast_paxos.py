@@ -1,0 +1,237 @@
+"""Tests for the Fast Paxos baseline."""
+
+import pytest
+
+from repro.checks import (
+    consensus_battery,
+    failing_scenarios,
+    fast_paxos_builder,
+    shuffled_delivery,
+)
+from repro.core import ConfigurationError, require_consensus
+from repro.omega import lowest_correct_omega_factory
+from repro.protocols import (
+    FastPaxosProcess,
+    fast_paxos_factory,
+    fast_paxos_min_processes,
+)
+from repro.sim import synchronous_run, two_step_deciders
+
+F, E = 2, 2
+N = fast_paxos_min_processes(F, E)  # 7
+
+
+def build(proposals=None, faulty=frozenset(), n=N):
+    proposals = proposals or {pid: 10 + pid for pid in range(n)}
+    return (
+        fast_paxos_factory(
+            proposals, F, E, omega_factory=lowest_correct_omega_factory(set(faulty))
+        ),
+        proposals,
+    )
+
+
+class TestConfiguration:
+    def test_min_processes_formula(self):
+        assert fast_paxos_min_processes(2, 2) == 7
+        assert fast_paxos_min_processes(1, 1) == 4
+        assert fast_paxos_min_processes(3, 1) == 7  # 2f+1 dominates
+
+    def test_bound_enforced(self):
+        with pytest.raises(ConfigurationError, match="Fast Paxos needs"):
+            FastPaxosProcess(0, 6, F, E, proposal=1)
+
+    def test_bound_relaxed(self):
+        FastPaxosProcess(0, 6, F, E, proposal=1, enforce_bound=False)
+
+
+class TestFastBallot:
+    def test_uniform_arrival_decides_everyone_in_two_steps(self):
+        factory, proposals = build()
+        run = synchronous_run(factory, N, prefer=3, proposals=proposals)
+        assert two_step_deciders(run, 1.0) == set(range(N))
+        assert run.decided_values() == {13}
+
+    def test_fast_under_e_crashes(self):
+        factory, proposals = build(faulty={0, 1})
+        run = synchronous_run(factory, N, faulty={0, 1}, prefer=3, proposals=proposals)
+        assert two_step_deciders(run, 1.0) == {2, 3, 4, 5, 6}
+
+    def test_acceptor_votes_first_come_not_value_ordered(self):
+        """The defining contrast with Figure 1: any first value wins the
+        acceptor's vote, even a low one."""
+        factory, proposals = build()
+        run = synchronous_run(factory, N, prefer=0, proposals=proposals)
+        # p0's value is the lowest and still gets everyone's vote.
+        assert run.decided_values() == {10}
+        assert two_step_deciders(run, 1.0) == set(range(N))
+
+    def test_collision_falls_back_to_coordinated_ballot(self):
+        factory, proposals = build()
+        # Shuffled arrival orders collide the fast ballot somewhere.
+        for seed in range(20):
+            run = synchronous_run(
+                factory,
+                N,
+                delivery_priority=shuffled_delivery(seed),
+                proposals=proposals,
+                horizon_rounds=40,
+            )
+            require_consensus(run)
+
+
+class TestRecovery:
+    def test_partial_fast_quorum_value_preserved(self):
+        """If a value may have been chosen fast, recovery must propose it."""
+        from repro.sim import Arena
+        from repro.protocols.fast_paxos import BALLOT_TIMER, FProposal
+
+        factory, proposals = build(faulty={6})
+        arena = Arena(factory, N)
+        arena.start_all()
+        # All live acceptors vote p6's value, so it may reach n-e = 5 votes.
+        arena.deliver_round(prefer_sender_first=6)
+        # Nobody learns (votes still in flight); p6 crashes; leader recovers.
+        arena.crash(6)
+        arena.fire_timer(0, BALLOT_TIMER)
+        run = arena.settle(targets=[0, 1, 2, 3, 4, 5])
+        assert run.decided_values() == {16}
+
+    def test_empty_fast_ballot_recovery_free_choice(self):
+        from repro.sim import Arena
+        from repro.protocols.fast_paxos import BALLOT_TIMER
+
+        factory, proposals = build(faulty={6})
+        arena = Arena(factory, N)
+        arena.start(0)  # only the leader even started
+        for pid in range(1, N - 1):
+            arena.start(pid)
+        # No proposal delivered anywhere; straight to a ballot.
+        arena.crash(6)
+        for pm in list(arena.pending_messages()):
+            del arena.pending[pm.uid]  # adversary delays all fast proposals
+        arena.fire_timer(0, BALLOT_TIMER)
+        run = arena.settle(targets=[0])
+        assert run.decided_value(0) == 10  # the coordinator's own proposal
+
+
+class TestBattery:
+    def test_full_battery_green(self):
+        results = consensus_battery(fast_paxos_builder(F, E), N, F)
+        bad = failing_scenarios(results)
+        assert not bad, "\n".join(r.name for r in bad)
+
+    def test_battery_green_f1_e1(self):
+        results = consensus_battery(
+            fast_paxos_builder(1, 1), 4, 1, async_seeds=(1, 2)
+        )
+        assert not failing_scenarios(results)
+
+
+class TestLamportBoundTightness:
+    """Fast Paxos genuinely needs max{2e+f+1, 2f+1} processes: one below
+    (at Figure 1's task bound n = 2e+f!) its first-come fast path plus
+    O4 recovery lose agreement. This is the other half of the paper's
+    story — the protocols' requirements differ because their mechanisms
+    do, not because anyone's analysis was sloppy."""
+
+    def _drive_collision(self, n):
+        from repro.omega import StaticOmega
+        from repro.protocols.fast_paxos import (
+            BALLOT_TIMER,
+            F1A,
+            F1B,
+            F2A,
+            F2B,
+            FProposal,
+            fast_paxos_factory,
+        )
+        from repro.sim import Arena
+
+        f = e = 2
+        proposals = {pid: 10 for pid in range(n)}
+        proposals[n - 1] = 20  # one high competitor
+        factory = fast_paxos_factory(
+            proposals,
+            f,
+            e,
+            omega_factory=lambda pid, total: StaticOmega(pid),
+            enforce_bound=False,
+        )
+        arena = Arena(factory, n, proposals=proposals)
+        arena.start_all()
+        # Acceptors 0..3 vote 10 (first arrival from p0); the last two
+        # acceptors vote 20 (first arrival from p[n-1]).
+        for acceptor in range(4):
+            pm = arena.pending_messages(receiver=acceptor, sender=0, kind=FProposal)[0]
+            arena.deliver(pm)
+        for acceptor in range(4, n):
+            pm = arena.pending_messages(
+                receiver=acceptor, sender=n - 1, kind=FProposal
+            )[0]
+            arena.deliver(pm)
+        # Learner 0 hears the four 10-votes: n-e = 4 at n=6 -> decides 10.
+        for voter in range(1, 4):
+            pm = arena.pending_messages(receiver=0, sender=voter, kind=F2B)[0]
+            arena.deliver(pm)
+        # Recovery by p2 with a classic quorum of the last n-f acceptors:
+        # {2,3,4,5} at n=6 (two 10-votes, two 20-votes), {2..6} at n=7.
+        quorum = tuple(range(2, 2 + (n - f)))
+        arena.fire_timer(2, BALLOT_TIMER)
+        for target in quorum:
+            pm = arena.pending_messages(receiver=target, sender=2, kind=F1A)[0]
+            arena.deliver(pm)
+        for sender in quorum:
+            pm = arena.pending_messages(receiver=2, sender=sender, kind=F1B)[0]
+            arena.deliver(pm)
+        for target in quorum:
+            pm = arena.pending_messages(receiver=target, sender=2, kind=F2A)[0]
+            arena.deliver(pm)
+        arena.deliver_where(kind=F2B, senders=quorum)
+        return arena
+
+    def test_agreement_breaks_at_2e_plus_f(self):
+        from repro.core import check_agreement
+
+        arena = self._drive_collision(6)  # n = 2e+f: one BELOW Lamport
+        assert arena.decided_value(0) == 10
+        violations = check_agreement(arena.run_record)
+        assert violations, "Fast Paxos should lose agreement at n = 2e+f"
+        assert "distinct decisions" in violations[0].description
+
+    def test_same_attack_fails_at_lamport_bound(self):
+        from repro.core import check_agreement
+
+        # n = 2e+f+1 = 7: the fast quorum is now 5, so four 10-votes do
+        # NOT decide; the adversary's learner stays silent and recovery
+        # is free to pick either value.
+        arena = self._drive_collision(7)
+        assert arena.run_record.decision_time(0) is None or (
+            not check_agreement(arena.run_record)
+        )
+        assert not check_agreement(arena.run_record)
+
+    def test_figure1_resists_the_same_strategy_at_2e_plus_f(self):
+        """The contrast: Figure 1's value-ordered fast path at the SAME
+        n = 6 makes the 10-fast-decision impossible in this configuration
+        (the 20-proposer never votes 10), and its R-exclusion recovery
+        keeps any fast decision safe — demonstrated exhaustively by the
+        explorer tests; here we just confirm the value-order refusal."""
+        from repro.omega import lowest_correct_omega_factory
+        from repro.protocols import twostep_task_factory
+        from repro.protocols.twostep import Propose
+        from repro.sim import Arena
+
+        n, f, e = 6, 2, 2
+        proposals = {pid: 10 for pid in range(n)}
+        proposals[n - 1] = 20
+        factory = twostep_task_factory(
+            proposals, f, e, omega_factory=lowest_correct_omega_factory(set())
+        )
+        arena = Arena(factory, n, proposals=proposals)
+        arena.start_all()
+        # p5 (proposal 20) refuses every Propose(10): line 11.
+        arena.deliver_where(receiver=5, kind=Propose)
+        from repro.core import BOTTOM
+
+        assert arena.processes[5].val is BOTTOM

@@ -1,0 +1,100 @@
+"""Tests for the Paxos baseline."""
+
+import pytest
+
+from repro.checks import consensus_battery, failing_scenarios, paxos_builder
+from repro.core import ConfigurationError, require_consensus
+from repro.omega import lowest_correct_omega_factory
+from repro.protocols import PaxosProcess, paxos_factory
+from repro.sim import synchronous_run, two_step_deciders
+
+N, F = 5, 2
+
+
+def build(proposals=None, faulty=frozenset()):
+    proposals = proposals or {pid: 10 + pid for pid in range(N)}
+    return (
+        paxos_factory(
+            proposals, F, omega_factory=lowest_correct_omega_factory(set(faulty))
+        ),
+        proposals,
+    )
+
+
+class TestConfiguration:
+    def test_requires_2f_plus_1(self):
+        with pytest.raises(ConfigurationError):
+            PaxosProcess(0, 4, 2, proposal=1)
+
+    def test_requires_proposal(self):
+        from repro.core import BOTTOM
+
+        with pytest.raises(ConfigurationError):
+            PaxosProcess(0, 5, 2, proposal=BOTTOM)
+
+
+class TestHappyPath:
+    def test_leader_decides_in_two_steps(self):
+        factory, proposals = build()
+        run = synchronous_run(factory, N, proposals=proposals)
+        assert run.decision_time(0) == 2.0
+        assert run.decided_value(0) == 10  # the leader's own proposal
+
+    def test_followers_also_decide_in_two_steps(self):
+        # Votes go to all learners, so every process counts the quorum
+        # itself — the whole system decides at 2Δ when the leader holds.
+        factory, proposals = build()
+        run = synchronous_run(factory, N, proposals=proposals)
+        for pid in range(1, N):
+            assert run.decision_time(pid) == 2.0
+
+    def test_consensus_holds(self):
+        factory, proposals = build()
+        run = synchronous_run(factory, N, proposals=proposals)
+        require_consensus(run)
+
+
+class TestLeaderFailure:
+    def test_no_two_step_decision_when_leader_crashes(self):
+        """The paper's observation: Paxos is not e-two-step for e > 0."""
+        factory, proposals = build(faulty={0})
+        for prefer in [None] + list(range(1, N)):
+            run = synchronous_run(
+                factory, N, faulty={0}, prefer=prefer, proposals=proposals
+            )
+            assert not two_step_deciders(run, 1.0)
+
+    def test_view_change_eventually_decides(self):
+        factory, proposals = build(faulty={0})
+        run = synchronous_run(factory, N, faulty={0}, proposals=proposals)
+        require_consensus(run)
+        # The new leader proposes its own value once phase 1 finds no votes.
+        assert run.decided_values() == {11}
+
+    def test_value_preserved_across_view_change(self):
+        """If ballot 0 reached a quorum, the next leader must adopt it."""
+        from repro.sim import Arena
+        from repro.protocols.paxos import BALLOT_TIMER, P2B
+
+        factory, proposals = build(faulty={0})  # Ω will name p1
+        arena = Arena(factory, N)
+        arena.start_all()
+        # Ballot 0's 2A reaches everyone; the 2Bs reach the leader, which
+        # decides... instead crash the leader BEFORE it collects votes.
+        arena.deliver_where(kind=None, receiver=None, sender=0)  # deliver 2As
+        arena.crash(0)
+        # Votes to the dead leader are lost; p1 takes over.
+        arena.fire_timer(1, BALLOT_TIMER)
+        run = arena.settle(targets=[1, 2, 3, 4])
+        assert run.decided_values() == {10}  # ballot-0 value survives
+
+
+class TestBattery:
+    def test_full_battery_green(self):
+        results = consensus_battery(paxos_builder(F), N, F)
+        bad = failing_scenarios(results)
+        assert not bad, "\n".join(r.name for r in bad)
+
+    def test_battery_green_f1(self):
+        results = consensus_battery(paxos_builder(1), 3, 1, async_seeds=(1, 2))
+        assert not failing_scenarios(results)

@@ -1,0 +1,133 @@
+"""Property-based protocol tests: hypothesis drives the adversary.
+
+Hypothesis generates arbitrary interleavings of deliveries, timer firings,
+and crashes (within the budget) and asserts the safety half of consensus
+— Agreement and Validity — for every protocol at its minimal system size.
+Unlike the seeded fuzzer in :mod:`repro.bounds.search`, hypothesis
+shrinks counterexamples, so a failure here localizes the offending
+schedule.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import check_agreement, check_validity
+from repro.omega import static_omega_factory
+from repro.protocols import (
+    ProposeRequest,
+    fast_paxos_factory,
+    paxos_factory,
+    twostep_object_factory,
+    twostep_task_factory,
+)
+from repro.sim import Arena
+
+SCHEDULE_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def drive_schedule(data, arena, f, steps=120):
+    """Consume hypothesis choices to drive an arbitrary legal schedule."""
+    crashes_left = f
+    for _ in range(steps):
+        choices = []
+        pending = arena.pending_messages()
+        if pending:
+            choices.append("deliver")
+        timers = [t for t in arena.timers() if t[0] not in arena.crashed]
+        if timers:
+            choices.append("fire")
+        live = sorted(set(range(arena.n)) - arena.crashed)
+        if crashes_left > 0 and len(live) > 1:
+            choices.append("crash")
+        if not choices:
+            return
+        action = data.draw(st.sampled_from(choices))
+        if action == "deliver":
+            pm = data.draw(st.sampled_from(pending))
+            if pm.uid in arena.pending and pm.receiver not in arena.crashed:
+                arena.deliver(pm)
+        elif action == "fire":
+            pid, name, _ = data.draw(st.sampled_from(timers))
+            if (pid, name) in {(a, b) for a, b, _ in arena.timers()}:
+                arena.fire_timer(pid, name)
+        else:
+            arena.crash(data.draw(st.sampled_from(live)))
+            crashes_left -= 1
+
+
+def assert_safe(run):
+    violations = check_agreement(run) + check_validity(run)
+    assert not violations, "\n".join(map(str, violations)) + "\n" + run.format()
+
+
+class TestTwoStepTaskSafety:
+    @given(st.data())
+    @SCHEDULE_SETTINGS
+    def test_agreement_validity_under_arbitrary_schedules(self, data):
+        f = e = 2
+        n = 6
+        proposals = {pid: data.draw(st.integers(0, 3)) for pid in range(n)}
+        factory = twostep_task_factory(
+            proposals, f, e, omega_factory=static_omega_factory(0)
+        )
+        arena = Arena(factory, n, proposals=proposals)
+        arena.start_all()
+        drive_schedule(data, arena, f)
+        assert_safe(arena.run_record)
+
+
+class TestTwoStepObjectSafety:
+    @given(st.data())
+    @SCHEDULE_SETTINGS
+    def test_agreement_validity_under_arbitrary_schedules(self, data):
+        f = e = 2
+        n = 5
+        factory = twostep_object_factory(
+            f, e, omega_factory=static_omega_factory(0)
+        )
+        arena = Arena(factory, n)
+        arena.start_all()
+        proposer_count = data.draw(st.integers(1, 3))
+        for pid in range(proposer_count):
+            value = data.draw(st.integers(0, 2))
+            uid = arena.inject(pid, ProposeRequest(value))
+            arena.deliver(arena.pending[uid])
+            arena.run_record.proposals[pid] = value
+        drive_schedule(data, arena, f)
+        assert_safe(arena.run_record)
+
+
+class TestPaxosSafety:
+    @given(st.data())
+    @SCHEDULE_SETTINGS
+    def test_agreement_validity_under_arbitrary_schedules(self, data):
+        f, n = 2, 5
+        proposals = {pid: pid for pid in range(n)}
+        factory = paxos_factory(
+            proposals, f, omega_factory=static_omega_factory(0)
+        )
+        arena = Arena(factory, n, proposals=proposals)
+        arena.start_all()
+        drive_schedule(data, arena, f)
+        assert_safe(arena.run_record)
+
+
+class TestFastPaxosSafety:
+    @given(st.data())
+    @SCHEDULE_SETTINGS
+    def test_agreement_validity_under_arbitrary_schedules(self, data):
+        f = e = 2
+        n = 7
+        proposals = {pid: pid % 3 for pid in range(n)}
+        factory = fast_paxos_factory(
+            proposals, f, e, omega_factory=static_omega_factory(0)
+        )
+        arena = Arena(factory, n, proposals=proposals)
+        arena.start_all()
+        drive_schedule(data, arena, f)
+        assert_safe(arena.run_record)

@@ -1,0 +1,184 @@
+"""Exhaustive verification of Lemma 7 / Lemma C.2 on small systems.
+
+Where :mod:`tests.protocols.test_selection` samples scenarios randomly,
+this module *enumerates* every protocol-reachable combination of
+ballot-0 votes and every recovery quorum for small (n, f, e) and asserts
+the selection rule recovers the fast-decided value in all of them — and
+that counterexamples exist one process below the bound.
+
+Reachability constraints encoded by the enumerator:
+
+* every process votes at most once, never for its own ``Propose`` (a
+  process does not receive its own broadcast);
+* task semantics: a vote's value must be >= the voter's own proposal;
+* object semantics: a process with an input votes only for that exact
+  value; processes without inputs vote freely;
+* the winner's supporters include its proposer implicitly; a fast
+  decision requires at least ``n - e`` supporters;
+* if the winner's proposer sits in the recovery quorum, it must have
+  decided before answering the ``1A`` (it can never complete the fast
+  path after joining a slow ballot), so its report carries the decision.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import BOTTOM, is_bottom
+from repro.protocols.selection import OneBReport, select_value
+
+WINNER_PID = 0
+
+
+def vote_options(pid, proposals, winner, object_semantics):
+    """All legal ballot-0 votes for *pid* given everyone's proposals."""
+    own = proposals.get(pid, BOTTOM)
+    options = [None]  # abstain
+    for proposer, value in proposals.items():
+        if proposer == pid:
+            continue  # cannot receive own Propose
+        if object_semantics:
+            if not is_bottom(own) and value != own:
+                continue
+        else:
+            if not value >= own:
+                continue
+        options.append((value, proposer))
+    return options
+
+
+def enumerate_recovery_cases(n, f, e, proposals, object_semantics):
+    """Yield (reports, winner) for every reachable fast-decided state."""
+    winner = proposals[WINNER_PID]
+    others = [pid for pid in range(n) if pid != WINNER_PID]
+    per_process = [
+        vote_options(pid, proposals, winner, object_semantics) for pid in others
+    ]
+    for votes in itertools.product(*per_process):
+        assignment = dict(zip(others, votes))
+        supporters = {WINNER_PID} | {
+            pid for pid, vote in assignment.items() if vote == (winner, WINNER_PID)
+        }
+        if len(supporters) < n - e:
+            continue  # no fast decision: premise not met
+        # Deduplicate by the vote multiset signature to curb the quorum
+        # loop (different assignments with equal reports are equivalent).
+        for quorum in itertools.combinations(range(n), n - f):
+            reports = []
+            for pid in quorum:
+                if pid == WINNER_PID:
+                    reports.append(
+                        OneBReport(
+                            sender=pid,
+                            value=BOTTOM,
+                            proposer=BOTTOM,
+                            decided=winner,
+                            initial_value=winner,
+                        )
+                    )
+                    continue
+                vote = assignment[pid]
+                reports.append(
+                    OneBReport(
+                        sender=pid,
+                        value=vote[0] if vote else BOTTOM,
+                        proposer=vote[1] if vote else BOTTOM,
+                        decided=BOTTOM,
+                        initial_value=proposals.get(pid, BOTTOM),
+                    )
+                )
+            yield reports, winner
+
+
+def count_failures(n, f, e, proposals, object_semantics):
+    failures = 0
+    total = 0
+    for reports, winner in enumerate_recovery_cases(
+        n, f, e, proposals, object_semantics
+    ):
+        total += 1
+        if select_value(reports, n, f, e, own_initial=BOTTOM) != winner:
+            failures += 1
+    return failures, total
+
+
+class TestLemma7Exhaustive:
+    """Task semantics at n = max{2e+f, 2f+1}: zero failures, always."""
+
+    def test_n3_f1_e1(self):
+        # proposals: winner 9 at p0; competitors below it.
+        proposals = {0: 9, 1: 3, 2: 5}
+        failures, total = count_failures(3, 1, 1, proposals, False)
+        assert total > 0
+        assert failures == 0
+
+    def test_n5_f2_e1(self):
+        proposals = {0: 9, 1: 1, 2: 2, 3: 3, 4: 4}
+        failures, total = count_failures(5, 2, 1, proposals, False)
+        assert total > 0
+        assert failures == 0
+
+    def test_n6_f2_e2_with_high_competitor(self):
+        # A competitor above the winner (its proposer can never support
+        # the winner) plus duplicated low values: the hardest shapes.
+        proposals = {0: 9, 1: 4, 2: 4, 3: 11, 4: 2, 5: 2}
+        failures, total = count_failures(6, 2, 2, proposals, False)
+        assert total > 0
+        assert failures == 0
+
+    def test_n6_f2_e2_same_value_co_proposers(self):
+        # Two processes proposing the same value can vote for each other;
+        # this is exactly the shape that makes the R-exclusion necessary.
+        proposals = {0: 9, 1: 7, 2: 7, 3: 7, 4: 1, 5: 1}
+        failures, total = count_failures(6, 2, 2, proposals, False)
+        assert total > 0
+        assert failures == 0
+
+    def test_below_bound_has_failures(self):
+        # n = 2e+f-1 = 5 with f=e=2: the Theorem 5 "only if" direction at
+        # the selection-rule level.
+        proposals = {0: 9, 1: 4, 2: 4, 3: 2, 4: 2}
+        failures, total = count_failures(5, 2, 2, proposals, False)
+        assert total > 0
+        assert failures > 0
+
+
+class TestLemmaC2Exhaustive:
+    """Object semantics at n = max{2e+f-1, 2f+1}: zero failures."""
+
+    def test_n5_f2_e2(self):
+        # Only some processes have inputs (object formulation).
+        proposals = {0: 9, 3: 4}
+        failures, total = count_failures(5, 2, 2, proposals, True)
+        assert total > 0
+        assert failures == 0
+
+    def test_n5_f2_e2_high_competitor(self):
+        proposals = {0: 9, 3: 12}
+        failures, total = count_failures(5, 2, 2, proposals, True)
+        assert total > 0
+        assert failures == 0
+
+    def test_n8_f3_e3_sampled_proposals(self):
+        proposals = {0: 9, 2: 5, 6: 12}
+        failures, total = count_failures(8, 3, 3, proposals, True)
+        assert total > 0
+        assert failures == 0
+
+    def test_below_bound_has_failures(self):
+        # n = 2e+f-2 = 7 with f=e=3: Theorem 6 "only if" at the
+        # selection-rule level — two solo proposers, votes split e-1/e-1.
+        proposals = {0: 9, 4: 12}
+        failures, total = count_failures(7, 3, 3, proposals, True)
+        assert total > 0
+        assert failures > 0
+
+    def test_task_rule_on_object_size_fails(self):
+        """The red lines earn the extra process: with task semantics
+        (proposers may support foreign values) the same n = 2e+f-1 is
+        NOT safe."""
+        proposals = {0: 9, 1: 4, 2: 4, 3: 2, 4: 2}
+        object_failures, _ = count_failures(5, 2, 2, proposals, True)
+        task_failures, _ = count_failures(5, 2, 2, proposals, False)
+        assert object_failures == 0
+        assert task_failures > 0

@@ -1,0 +1,171 @@
+"""Deep slow-path tests for Figure 1: ballot duels, stale messages,
+retries, and cross-ballot safety, driven through the arena."""
+
+import pytest
+
+from repro.core import BOTTOM, check_agreement, is_bottom
+from repro.omega import StaticOmega, static_omega_factory
+from repro.protocols import TwoStepConfig, twostep_task_factory
+from repro.protocols.twostep import (
+    BALLOT_TIMER,
+    Decide,
+    OneA,
+    OneB,
+    Propose,
+    TwoA,
+    TwoB,
+)
+from repro.sim import Arena
+
+N, F, E = 6, 2, 2
+
+
+def make_arena(proposals=None):
+    proposals = proposals or {pid: 100 + pid for pid in range(N)}
+    # Every process trusts itself: a legal pre-convergence Ω state that
+    # lets the adversary nominate any coordinator by firing its timer.
+    factory = twostep_task_factory(
+        proposals, F, E, omega_factory=lambda pid, n: StaticOmega(pid)
+    )
+    arena = Arena(factory, N, proposals=proposals)
+    arena.start_all()
+    return arena
+
+
+def run_ballot(arena, coordinator, participants=None):
+    """Drive one full ballot round by the coordinator."""
+    arena.fire_timer(coordinator, BALLOT_TIMER)
+    arena.deliver_where(kind=OneA)
+    arena.deliver_where(receiver=coordinator, kind=OneB)
+    arena.deliver_where(kind=TwoA)
+    arena.deliver_where(receiver=coordinator, kind=TwoB)
+
+
+class TestBallotProgression:
+    def test_single_ballot_decides(self):
+        arena = make_arena()
+        run_ballot(arena, 0)
+        assert arena.has_decided(0)
+        arena.deliver_where(kind=Decide)
+        assert all(arena.has_decided(pid) for pid in range(N))
+
+    def test_coordinator_proposes_own_value_on_empty_state(self):
+        arena = make_arena()
+        run_ballot(arena, 0)
+        assert arena.decided_value(0) == 100  # leader 0's own proposal
+
+    def test_second_ballot_supersedes_undelivered_first(self):
+        # Leader 0 opens ballot 6; before its 2As land, leader 1 (the
+        # adversary pretends Ω flapped) opens ballot 7. Ballot 7 wins.
+        arena = make_arena()
+        arena.fire_timer(0, BALLOT_TIMER)
+        arena.deliver_where(kind=OneA)  # everyone joins ballot 6
+        arena.fire_timer(1, BALLOT_TIMER)
+        arena.deliver_where(kind=OneA)  # everyone joins ballot 7
+        # 0's 1Bs (for ballot 6) arrive; it proposes 2A(6, _) — too late.
+        arena.deliver_where(receiver=0, kind=OneB)
+        arena.deliver_where(receiver=1, kind=OneB)
+        arena.deliver_where(kind=TwoA)
+        arena.deliver_where(receiver=1, kind=TwoB)
+        # Votes for ballot 6 never reach a quorum at 0: processes with
+        # bal=7 reject the old 2A.
+        assert arena.has_decided(1)
+        assert not check_agreement(arena.run_record)
+
+    def test_interleaved_ballots_preserve_agreement(self):
+        arena = make_arena()
+        # Ballot 6 completes fully at leader 0.
+        run_ballot(arena, 0)
+        first = arena.decided_value(0)
+        # A later ballot by leader 1 must adopt the same value.
+        arena.fire_timer(1, BALLOT_TIMER)
+        arena.deliver_where(kind=OneA)
+        arena.deliver_where(receiver=1, kind=OneB)
+        arena.deliver_where(kind=TwoA)
+        arena.deliver_where(receiver=1, kind=TwoB)
+        assert arena.decided_value(1) == first
+        assert not check_agreement(arena.run_record)
+
+
+class TestStaleMessages:
+    def test_old_ballot_one_a_ignored(self):
+        arena = make_arena()
+        process = arena.processes[2]
+        run_ballot(arena, 0)
+        arena.deliver_where(kind=Decide)
+        bal_before = process.bal
+        uid = arena.inject(2, OneA(1), sender=1)  # ancient ballot
+        arena.deliver(arena.pending[uid])
+        assert process.bal == bal_before
+        assert not arena.pending_messages(sender=2, kind=OneB)
+
+    def test_stale_two_a_rejected(self):
+        arena = make_arena()
+        run_ballot(arena, 0)  # everyone at ballot 6
+        uid = arena.inject(3, TwoA(2, 999), sender=1)
+        arena.deliver(arena.pending[uid])
+        assert arena.processes[3].val != 999
+
+    def test_two_a_at_exactly_current_ballot_accepted(self):
+        """Line 66's precondition is bal <= b, not bal < b."""
+        arena = make_arena()
+        arena.fire_timer(0, BALLOT_TIMER)
+        arena.deliver_where(kind=OneA)  # all join ballot 6
+        ballot = arena.processes[3].bal
+        uid = arena.inject(3, TwoA(ballot, 104), sender=0)
+        arena.deliver(arena.pending[uid])
+        assert arena.processes[3].val == 104
+        assert arena.processes[3].vbal == ballot
+
+    def test_fast_votes_after_ballot_change_cannot_decide(self):
+        """The fast disjunct reads the *local* ballot: once a process
+        moved past ballot 0, late fast votes never trigger a decision."""
+        arena = make_arena()
+        # p5 collects some fast votes...
+        arena.deliver_round(prefer_sender_first=5)
+        # ... but joins a slow ballot before enough 2Bs arrive.
+        arena.fire_timer(0, BALLOT_TIMER)
+        arena.deliver_where(receiver=5, kind=OneA)
+        assert arena.processes[5].bal > 0
+        arena.deliver_where(receiver=5, kind=TwoB)
+        assert not arena.has_decided(5)
+
+    def test_duplicate_one_b_does_not_double_propose(self):
+        arena = make_arena()
+        arena.fire_timer(0, BALLOT_TIMER)
+        arena.deliver_where(kind=OneA)
+        arena.deliver_where(receiver=0, kind=OneB)
+        sent_before = sum(
+            1 for r in arena.run_record.sends() if isinstance(r.message, TwoA)
+        )
+        # Replay a 1B (network duplication is not in the model, but the
+        # guard must hold regardless).
+        uid = arena.inject(
+            0, OneB(6, 0, BOTTOM, BOTTOM, BOTTOM, 101), sender=1
+        )
+        arena.deliver(arena.pending[uid])
+        sent_after = sum(
+            1 for r in arena.run_record.sends() if isinstance(r.message, TwoA)
+        )
+        assert sent_after == sent_before
+
+
+class TestDecidedProcessBehaviour:
+    def test_decided_process_still_answers_one_a(self):
+        """A decided process reports `decided` in its 1B so any later
+        coordinator adopts it (selection branch 1)."""
+        arena = make_arena()
+        run_ballot(arena, 0)
+        arena.deliver_where(kind=Decide)
+        value = arena.decided_value(0)
+        uid = arena.inject(2, OneA(13), sender=1)
+        arena.deliver(arena.pending[uid])
+        reply = arena.pending_messages(sender=2, kind=OneB)[-1]
+        assert reply.message.decided == value
+
+    def test_decided_process_stops_nominating(self):
+        arena = make_arena()
+        run_ballot(arena, 0)
+        # 0 decided; its ballot timer was cancelled.
+        armed = {(pid, name) for pid, name, _ in arena.timers()}
+        assert (0, BALLOT_TIMER) not in armed

@@ -1,0 +1,194 @@
+"""Tests for Figure 1, task variant: fast path, slow path, recovery."""
+
+import pytest
+
+from repro.checks import consensus_battery, failing_scenarios, twostep_task_builder
+from repro.core import (
+    BOTTOM,
+    ConfigurationError,
+    check_consensus,
+    require_consensus,
+)
+from repro.omega import lowest_correct_omega_factory, static_omega_factory
+from repro.protocols import TwoStepConfig, TwoStepProcess, twostep_task_factory
+from repro.protocols.twostep import Decide, OneB, Propose, TwoA, TwoB
+from repro.sim import Arena, CrashPlan, FixedLatency, Simulation, synchronous_run
+
+
+def factory(n=6, f=2, e=2, proposals=None, faulty=frozenset(), **config_kw):
+    proposals = proposals or {pid: 100 + pid for pid in range(n)}
+    config = TwoStepConfig(f=f, e=e, **config_kw) if config_kw else None
+    return (
+        twostep_task_factory(
+            proposals,
+            f,
+            e,
+            omega_factory=lowest_correct_omega_factory(set(faulty)),
+            config=config,
+        ),
+        proposals,
+    )
+
+
+class TestConfiguration:
+    def test_bound_enforced_task(self):
+        with pytest.raises(ConfigurationError, match="needs n >="):
+            TwoStepProcess(0, 5, TwoStepConfig(f=2, e=2), proposal=1)
+
+    def test_bound_relaxed_when_requested(self):
+        config = TwoStepConfig(f=2, e=2, enforce_bound=False)
+        TwoStepProcess(0, 5, config, proposal=1)
+
+    def test_minimum_processes(self):
+        assert TwoStepConfig(f=2, e=2).minimum_processes() == 6
+        assert TwoStepConfig(f=2, e=2, is_object=True).minimum_processes() == 5
+        assert TwoStepConfig(f=3, e=1).minimum_processes() == 7
+
+    def test_object_rejects_constructor_proposal(self):
+        config = TwoStepConfig(f=2, e=2, is_object=True)
+        with pytest.raises(ConfigurationError, match="propose"):
+            TwoStepProcess(0, 5, config, proposal=1)
+
+    def test_missing_proposal_rejected(self):
+        build, _ = factory(proposals={0: 1})
+        with pytest.raises(ConfigurationError, match="no proposal"):
+            build(1, 6)
+
+    def test_delta_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoStepConfig(f=2, e=2, delta=0).validate(6)
+
+
+class TestFastPath:
+    def test_max_proposer_decides_in_two_steps(self):
+        build, proposals = factory()
+        run = synchronous_run(build, 6, prefer=5, proposals=proposals)
+        assert run.decision_time(5) == 2.0
+        assert run.decided_value(5) == 105
+
+    def test_all_decide_by_three_steps_via_decide_broadcast(self):
+        build, proposals = factory()
+        run = synchronous_run(build, 6, prefer=5, proposals=proposals)
+        assert all(run.decision_time(pid) <= 3.0 for pid in range(6))
+
+    def test_fast_path_survives_e_crashes(self):
+        build, proposals = factory(faulty={0, 1})
+        run = synchronous_run(build, 6, faulty={0, 1}, prefer=5, proposals=proposals)
+        assert run.decision_time(5) == 2.0
+        require_consensus(run)
+
+    def test_low_value_proposals_rejected(self):
+        """Line 11: a process only accepts values >= its own proposal."""
+        process = TwoStepProcess(2, 6, TwoStepConfig(f=2, e=2), proposal=102)
+        arena = Arena(lambda pid, n: factory()[0](pid, n), 6)
+        arena.start_all()
+        target = arena.processes[5]  # proposal 105
+        arena.deliver_where(receiver=5, kind=Propose)
+        # 5 should have rejected every lower proposal.
+        assert target.val is BOTTOM
+
+    def test_vote_goes_to_first_acceptable_proposal(self):
+        build, proposals = factory()
+        arena = Arena(build, 6)
+        arena.start_all()
+        # Deliver p5's proposal to p0 first: accepted (105 >= 100).
+        pm = arena.pending_messages(receiver=0, sender=5, kind=Propose)[0]
+        arena.deliver(pm)
+        assert arena.processes[0].val == 105
+        assert arena.processes[0].proposer == 5
+        # A later, even higher proposal would be rejected (val != BOTTOM).
+        assert arena.pending_messages(receiver=5, sender=0, kind=TwoB)
+
+    def test_same_value_everyone_can_be_fast(self):
+        proposals = {pid: 42 for pid in range(6)}
+        build, _ = factory(proposals=proposals)
+        for target in range(6):
+            run = synchronous_run(build, 6, prefer=target, proposals=proposals)
+            assert run.decision_time(target) == 2.0, f"p{target} not fast"
+
+
+class TestSlowPath:
+    def test_leader_crash_recovers_via_ballot(self):
+        # Max proposer crashed: fast path impossible for its value; the
+        # Ω leader drives a slow ballot to termination.
+        build, proposals = factory(faulty={5})
+        run = synchronous_run(build, 6, faulty={5}, proposals=proposals)
+        require_consensus(run)
+
+    def test_no_preference_still_terminates(self):
+        build, proposals = factory()
+        run = synchronous_run(build, 6, proposals=proposals)
+        require_consensus(run)
+
+    def test_recovery_preserves_fast_decision(self):
+        """A fast decision taken before a ballot change survives it."""
+        build, proposals = factory()
+        arena = Arena(build, 6)
+        arena.start_all()
+        # p5 decides fast.
+        arena.deliver_round(prefer_sender_first=5)
+        arena.deliver_where(receiver=5, kind=TwoB)
+        assert arena.has_decided(5)
+        fast_value = arena.decided_value(5)
+        # p5 crashes; survivors run a ballot having seen only their votes.
+        arena.crash(5)
+        arena.fire_timer(0, "twostep:new_ballot")
+        run = arena.settle()
+        assert run.decided_values() == {fast_value}
+
+    def test_ballot_numbers_owned_by_leader(self):
+        process = TwoStepProcess(3, 6, TwoStepConfig(f=2, e=2), proposal=1)
+        assert process._next_owned_ballot() == 3
+        process.bal = 3
+        assert process._next_owned_ballot() == 9
+        process.bal = 100
+        assert process._next_owned_ballot() % 6 == 3
+
+    def test_one_b_ignored_by_non_owner(self):
+        build, proposals = factory()
+        arena = Arena(build, 6)
+        arena.start_all()
+        # A 1B for ballot 7 (owner 1) delivered to process 0: ignored.
+        oneb = OneB(7, 0, BOTTOM, BOTTOM, BOTTOM, BOTTOM)
+        uid = arena.inject(0, oneb, sender=2)
+        arena.deliver(arena.pending[uid])
+        assert not arena.pending_messages(kind=TwoA)
+
+
+class TestCrashBattery:
+    def test_full_battery_green(self):
+        results = consensus_battery(twostep_task_builder(2, 2), 6, 2)
+        bad = failing_scenarios(results)
+        assert not bad, "\n".join(r.name for r in bad)
+
+    def test_battery_green_at_larger_n(self):
+        results = consensus_battery(twostep_task_builder(2, 2), 8, 2)
+        assert not failing_scenarios(results)
+
+    def test_battery_green_f3_e2(self):
+        results = consensus_battery(
+            twostep_task_builder(3, 2), 8, 3, async_seeds=(1,)
+        )
+        assert not failing_scenarios(results)
+
+
+class TestDecideBroadcast:
+    def test_decide_message_adopted(self):
+        build, proposals = factory()
+        arena = Arena(build, 6)
+        arena.start_all()
+        uid = arena.inject(2, Decide(999), sender=4)
+        arena.deliver(arena.pending[uid])
+        assert arena.decided_value(2) == 999
+
+    def test_no_broadcast_when_ablated_breaks_termination(self):
+        """Line 20 is load-bearing: without the Decide broadcast only the
+        fast decider and ballot coordinators ever learn the decision."""
+        build, proposals = factory(broadcast_decide=False)
+        run = synchronous_run(build, 6, prefer=5, proposals=proposals)
+        assert run.decision_time(5) == 2.0
+        assert "Decide" not in run.messages_by_kind()
+        violations = check_consensus(run)
+        assert violations and all(
+            v.property_name == "termination" for v in violations
+        )

@@ -1,0 +1,176 @@
+"""Tests for the adversarial arena."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import Context, Message, Process, SchedulerError
+from repro.sim import Arena
+
+
+@dataclass(frozen=True)
+class Token(Message):
+    generation: int
+
+
+class Relay(Process):
+    """Broadcasts a token at start; re-broadcasts bumped tokens; decides
+    on generation 2."""
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.set_timer("tick", 1.0)
+        ctx.broadcast(Token(0))
+
+    def on_message(self, ctx: Context, sender, message: Token) -> None:
+        if message.generation >= 2:
+            ctx.decide(message.generation)
+            return
+        ctx.send(sender, Token(message.generation + 1))
+
+    def on_timer(self, ctx: Context, name: str) -> None:
+        ctx.decide("timeout")
+
+
+def make_arena(n=3):
+    return Arena(lambda pid, n_: Relay(pid, n_), n)
+
+
+class TestStarting:
+    def test_start_produces_pending_messages(self):
+        arena = make_arena()
+        arena.start(0)
+        assert len(arena.pending_messages()) == 2
+
+    def test_double_start_rejected(self):
+        arena = make_arena()
+        arena.start(0)
+        with pytest.raises(SchedulerError):
+            arena.start(0)
+
+    def test_start_all_skips(self):
+        arena = make_arena()
+        arena.start_all(skip=[1])
+        assert arena.started == {0, 2}
+
+
+class TestDelivery:
+    def test_deliver_runs_handler(self):
+        arena = make_arena()
+        arena.start(0)
+        pm = arena.pending_messages(receiver=1)[0]
+        arena.deliver(pm)
+        # receiver 1 replied with generation 1 token to 0
+        replies = arena.pending_messages(receiver=0)
+        assert [m.message.generation for m in replies] == [1]
+
+    def test_deliver_twice_rejected(self):
+        arena = make_arena()
+        arena.start(0)
+        pm = arena.pending_messages()[0]
+        arena.deliver(pm)
+        with pytest.raises(SchedulerError, match="not pending"):
+            arena.deliver(pm)
+
+    def test_deliver_where_filters(self):
+        arena = make_arena()
+        arena.start_all()
+        count = arena.deliver_where(receiver=1, kind=Token)
+        assert count == 2  # from 0 and 2
+
+    def test_deliver_round_is_one_network_step(self):
+        arena = make_arena()
+        arena.start_all()
+        in_flight = len(arena.pending_messages())
+        delivered = arena.deliver_round()
+        assert delivered == in_flight
+        # replies generated during the round are pending, not delivered
+        assert arena.pending_messages()
+
+    def test_inject_external_message(self):
+        arena = make_arena()
+        arena.start_all()
+        uid = arena.inject(0, Token(2))
+        arena.deliver(arena.pending[uid])
+        assert arena.has_decided(0)
+        assert arena.decided_value(0) == 2
+
+
+class TestCrashes:
+    def test_crashed_process_cannot_act(self):
+        arena = make_arena()
+        arena.start(0)
+        arena.crash(1)
+        with pytest.raises(SchedulerError, match="crashed"):
+            arena.start(1)
+
+    def test_messages_to_crashed_discarded(self):
+        arena = make_arena()
+        arena.start(0)
+        assert arena.pending_messages(receiver=1)
+        arena.crash(1)
+        assert not arena.pending_messages(receiver=1)
+
+    def test_messages_from_crashed_stay_deliverable(self):
+        arena = make_arena()
+        arena.start(0)
+        arena.crash(0)
+        survivors = arena.pending_messages(receiver=2, sender=0)
+        assert survivors  # reliable links: already-sent messages survive
+        arena.deliver(survivors[0])
+
+    def test_new_sends_to_crashed_are_dropped(self):
+        arena = make_arena()
+        arena.start_all()
+        arena.crash(0)
+        arena.deliver_round()
+        assert not arena.pending_messages(receiver=0)
+
+    def test_crash_idempotent(self):
+        arena = make_arena()
+        arena.crash(1)
+        arena.crash(1)
+        assert len([r for r in arena.run_record.records]) == 1
+
+
+class TestTimers:
+    def test_timers_listed_soonest_first(self):
+        arena = make_arena()
+        arena.start_all()
+        timers = arena.timers()
+        assert len(timers) == 3
+        assert timers[0][2] <= timers[-1][2]
+
+    def test_fire_timer_advances_clock(self):
+        arena = make_arena()
+        arena.start(0)
+        arena.fire_timer(0, "tick")
+        assert arena.time == 1.0
+        assert arena.decided_value(0) == "timeout"
+
+    def test_fire_unarmed_timer_rejected(self):
+        arena = make_arena()
+        arena.start(0)
+        arena.fire_timer(0, "tick")
+        with pytest.raises(SchedulerError, match="no timer"):
+            arena.fire_timer(0, "tick")
+
+    def test_clock_cannot_rewind(self):
+        arena = make_arena()
+        arena.advance_to(5.0)
+        with pytest.raises(SchedulerError):
+            arena.advance_to(1.0)
+
+
+class TestSettle:
+    def test_settle_reaches_decisions(self):
+        arena = make_arena()
+        arena.start_all()
+        run = arena.settle()
+        assert all(arena.has_decided(pid) for pid in range(3))
+
+    def test_settle_ignores_crashed_targets(self):
+        arena = make_arena()
+        arena.start_all()
+        arena.crash(2)
+        arena.settle()
+        assert arena.has_decided(0) and arena.has_decided(1)

@@ -1,0 +1,82 @@
+"""Tests for the event queue ordering rules."""
+
+from repro.core.process import ProcessId
+from repro.protocols.twostep import Propose, TwoB
+from repro.sim.events import (
+    PRIORITY_CRASH,
+    PRIORITY_DELIVERY,
+    PRIORITY_START,
+    PRIORITY_TIMER,
+    CrashEvent,
+    DeliveryEvent,
+    EventQueue,
+    StartEvent,
+    TimerEvent,
+    prefer_sender,
+    prefer_value_order,
+)
+
+
+def _delivery(sender=0, receiver=1, value=1):
+    return DeliveryEvent(sender=sender, receiver=receiver, message=Propose(value), send_time=0.0)
+
+
+class TestQueueOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(2.0, PRIORITY_DELIVERY, _delivery(value=2))
+        q.push(1.0, PRIORITY_DELIVERY, _delivery(value=1))
+        assert q.pop()[0] == 1.0
+        assert q.pop()[0] == 2.0
+
+    def test_priority_classes_at_equal_time(self):
+        q = EventQueue()
+        q.push(1.0, PRIORITY_TIMER, TimerEvent(0, "t", 1))
+        q.push(1.0, PRIORITY_DELIVERY, _delivery())
+        q.push(1.0, PRIORITY_START, StartEvent(0))
+        q.push(1.0, PRIORITY_CRASH, CrashEvent(0))
+        kinds = [type(q.pop()[1]).__name__ for _ in range(4)]
+        assert kinds == ["CrashEvent", "StartEvent", "DeliveryEvent", "TimerEvent"]
+
+    def test_fifo_within_class(self):
+        q = EventQueue()
+        first, second = _delivery(value=1), _delivery(value=2)
+        q.push(1.0, PRIORITY_DELIVERY, first)
+        q.push(1.0, PRIORITY_DELIVERY, second)
+        assert q.pop()[1] is first
+        assert q.pop()[1] is second
+
+    def test_tiebreak_overrides_fifo(self):
+        q = EventQueue()
+        low, high = _delivery(value=1), _delivery(value=2)
+        q.push(1.0, PRIORITY_DELIVERY, low, tiebreak=5)
+        q.push(1.0, PRIORITY_DELIVERY, high, tiebreak=1)
+        assert q.pop()[1] is high
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert not q
+        assert q.peek_time() is None
+        q.push(3.0, PRIORITY_DELIVERY, _delivery())
+        assert len(q) == 1
+        assert q.peek_time() == 3.0
+
+
+class TestPolicies:
+    def test_prefer_sender(self):
+        policy = prefer_sender(3)
+        assert policy(3, 0, Propose(1)) < policy(2, 0, Propose(1))
+
+    def test_prefer_value_order_descending(self):
+        policy = prefer_value_order(descending=True)
+        assert policy(0, 1, Propose(9)) < policy(0, 1, Propose(2))
+
+    def test_prefer_value_order_ascending(self):
+        policy = prefer_value_order(descending=False)
+        assert policy(0, 1, Propose(2)) < policy(0, 1, Propose(9))
+
+    def test_prefer_value_order_handles_missing_value(self):
+        policy = prefer_value_order()
+        from repro.protocols.twostep import OneA
+
+        assert policy(0, 1, OneA(4)) > policy(0, 1, Propose(1))

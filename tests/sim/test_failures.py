@@ -1,0 +1,49 @@
+"""Tests for crash plans."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.sim import CrashPlan
+
+
+class TestConstruction:
+    def test_none(self):
+        assert len(CrashPlan.none()) == 0
+
+    def test_at_start(self):
+        plan = CrashPlan.at_start([1, 3])
+        assert plan.crash_times == {1: 0.0, 3: 0.0}
+
+    def test_at_time(self):
+        plan = CrashPlan.at(2.5, [0])
+        assert plan.crash_times == {0: 2.5}
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            CrashPlan({0: -1.0})
+
+
+class TestMerge:
+    def test_union(self):
+        merged = CrashPlan.at_start([0]).merged_with(CrashPlan.at(3.0, [1]))
+        assert merged.crash_times == {0: 0.0, 1: 3.0}
+
+    def test_earlier_time_wins(self):
+        merged = CrashPlan.at(5.0, [0]).merged_with(CrashPlan.at(2.0, [0]))
+        assert merged.crash_times == {0: 2.0}
+
+
+class TestValidation:
+    def test_unknown_pid(self):
+        with pytest.raises(ConfigurationError, match="pid 7"):
+            CrashPlan.at_start([7]).validate_for(3)
+
+    def test_budget(self):
+        plan = CrashPlan.at_start([0, 1])
+        plan.validate_for(5)  # no budget: fine
+        plan.validate_for(5, f=2)
+        with pytest.raises(ConfigurationError, match="budget"):
+            plan.validate_for(5, f=1)
+
+    def test_repr_sorted(self):
+        assert repr(CrashPlan({2: 1.0, 0: 0.0})) == "CrashPlan(p0@0.0, p2@1.0)"

@@ -1,0 +1,114 @@
+"""Tests for the latency models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError
+from repro.sim.latency import (
+    FixedLatency,
+    PartialSynchrony,
+    RandomLatency,
+    WanMatrix,
+)
+
+
+class TestFixedLatency:
+    def test_exact_delta(self):
+        model = FixedLatency(2.5)
+        assert model.delivery_time(0, 1, 10.0) == 12.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatency(0)
+
+
+class TestRandomLatency:
+    def test_within_band(self):
+        model = RandomLatency(1.0, 3.0, seed=1)
+        for _ in range(100):
+            d = model.delivery_time(0, 1, 0.0)
+            assert 1.0 <= d <= 3.0
+
+    def test_deterministic_per_seed(self):
+        a = [RandomLatency(1, 2, seed=7).delivery_time(0, 1, 0.0) for _ in range(1)]
+        b = [RandomLatency(1, 2, seed=7).delivery_time(0, 1, 0.0) for _ in range(1)]
+        assert a == b
+
+    def test_rejects_bad_band(self):
+        with pytest.raises(ConfigurationError):
+            RandomLatency(3, 1)
+        with pytest.raises(ConfigurationError):
+            RandomLatency(0, 1)
+
+
+class TestPartialSynchrony:
+    def test_post_gst_bounded_by_delta(self):
+        model = PartialSynchrony(delta=1.0, gst=5.0, seed=3)
+        for _ in range(200):
+            d = model.delivery_time(0, 1, 6.0)
+            assert 6.0 < d <= 7.0
+
+    def test_pre_gst_message_arrives_by_gst_plus_delta(self):
+        model = PartialSynchrony(delta=1.0, gst=5.0, pre_gst_max=100.0, seed=3)
+        for _ in range(200):
+            d = model.delivery_time(0, 1, 0.5)
+            assert d <= 6.0  # max(send, gst) + delta
+
+    def test_pre_gst_at_least_delta(self):
+        model = PartialSynchrony(delta=1.0, gst=50.0, seed=3)
+        for _ in range(100):
+            assert model.delivery_time(0, 1, 0.0) >= 1.0
+
+    def test_rejects_pre_gst_below_delta(self):
+        with pytest.raises(ConfigurationError):
+            PartialSynchrony(delta=2.0, pre_gst_max=1.0)
+
+    @given(st.floats(min_value=0, max_value=100))
+    def test_never_delivers_before_send(self, send_time):
+        model = PartialSynchrony(delta=1.0, gst=10.0, seed=1)
+        assert model.delivery_time(0, 1, send_time) >= send_time
+
+
+class TestWanMatrix:
+    MATRIX = [
+        [0.5, 30.0, 80.0],
+        [30.0, 0.5, 60.0],
+        [80.0, 60.0, 0.5],
+    ]
+
+    def test_uses_matrix_entries(self):
+        model = WanMatrix(self.MATRIX)
+        assert model.delivery_time(0, 1, 0.0) == 30.0
+        assert model.delivery_time(2, 0, 5.0) == 85.0
+
+    def test_placement_maps_processes_to_sites(self):
+        model = WanMatrix(self.MATRIX, placement=[0, 0, 1, 2])
+        assert model.delivery_time(0, 1, 0.0) == 0.5  # same site
+        assert model.delivery_time(1, 2, 0.0) == 30.0
+
+    def test_zero_delay_gets_floor(self):
+        model = WanMatrix([[0.0]])
+        assert model.delivery_time(0, 0, 0.0) > 0.0
+
+    def test_jitter_bounded(self):
+        model = WanMatrix(self.MATRIX, jitter=0.1, seed=2)
+        for _ in range(100):
+            d = model.delivery_time(0, 1, 0.0)
+            assert 30.0 <= d <= 33.0
+
+    def test_max_delay(self):
+        assert WanMatrix(self.MATRIX).max_delay() == 80.0
+        assert WanMatrix(self.MATRIX, jitter=0.5).max_delay() == 120.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            WanMatrix([[1.0, 2.0]])
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            WanMatrix([[-1.0]])
+
+    def test_rejects_bad_placement(self):
+        with pytest.raises(ConfigurationError):
+            WanMatrix(self.MATRIX, placement=[0, 5])

@@ -1,0 +1,101 @@
+"""Tests that synchronous_run realizes Definition 2 exactly."""
+
+import pytest
+
+from repro.core import DeliverRecord, SendRecord
+from repro.omega import lowest_correct_omega_factory
+from repro.protocols import twostep_task_factory
+from repro.sim import exists_two_step_run, synchronous_run, two_step_deciders
+
+
+def _factory(n, f=2, e=2, faulty=frozenset(), proposals=None, delta=1.0):
+    proposals = proposals or {pid: 100 + pid for pid in range(n)}
+    return (
+        twostep_task_factory(
+            proposals,
+            f,
+            e,
+            delta=delta,
+            omega_factory=lowest_correct_omega_factory(set(faulty)),
+        ),
+        proposals,
+    )
+
+
+class TestRoundStructure:
+    def test_messages_take_exactly_one_round(self):
+        factory, proposals = _factory(6)
+        run = synchronous_run(factory, 6, proposals=proposals, horizon_rounds=5)
+        sends = {(r.sender, r.receiver, r.message): r.time for r in run.sends()}
+        for record in run.deliveries():
+            key = (record.sender, record.receiver, record.message)
+            if key in sends:
+                assert record.time == pytest.approx(sends[key] + 1.0)
+
+    def test_custom_delta_scales_rounds(self):
+        factory, proposals = _factory(6, delta=10.0)
+        run = synchronous_run(
+            factory, 6, proposals=proposals, delta=10.0, prefer=5, horizon_rounds=5
+        )
+        assert run.decision_time(5) == 20.0  # two steps of Δ=10
+
+    def test_faulty_take_no_steps(self):
+        factory, proposals = _factory(6, faulty={0, 1})
+        run = synchronous_run(factory, 6, faulty={0, 1}, proposals=proposals)
+        assert all(r.sender not in {0, 1} for r in run.sends())
+        assert all(r.receiver not in {0, 1} for r in run.deliveries())
+        assert run.crashed == {0, 1}
+
+    def test_crash_budget_check(self):
+        factory, proposals = _factory(6)
+        with pytest.raises(Exception):
+            synchronous_run(factory, 6, faulty={0, 1, 2}, f=2, proposals=proposals)
+
+    def test_prefer_and_policy_mutually_exclusive(self):
+        factory, proposals = _factory(6)
+        with pytest.raises(ValueError):
+            synchronous_run(
+                factory,
+                6,
+                prefer=0,
+                delivery_priority=lambda s, r, m: 0,
+                proposals=proposals,
+            )
+
+
+class TestPreferencePolicy:
+    def test_preferred_max_proposer_decides_two_step(self):
+        factory, proposals = _factory(6, faulty={0, 1})
+        run = synchronous_run(
+            factory, 6, faulty={0, 1}, prefer=5, proposals=proposals
+        )
+        assert 5 in two_step_deciders(run, 1.0)
+
+    def test_preferring_low_proposer_does_not_make_it_fast(self):
+        # A low-value proposer cannot gather fast votes: higher proposers
+        # reject its value (line 11), so no two-step decision for it.
+        factory, proposals = _factory(6)
+        run = synchronous_run(factory, 6, prefer=0, proposals=proposals)
+        assert 0 not in two_step_deciders(run, 1.0)
+
+
+class TestExistentialSearch:
+    def test_finds_witness_for_some_process(self):
+        factory, proposals = _factory(6, faulty={2, 3})
+        run = exists_two_step_run(factory, 6, {2, 3}, proposals=proposals)
+        assert run is not None
+        assert two_step_deciders(run, 1.0)
+
+    def test_finds_witness_for_target_with_same_values(self):
+        proposals = {pid: 7 for pid in range(6)}
+        factory, _ = _factory(6, faulty={0, 1}, proposals=proposals)
+        for target in (2, 3, 4, 5):
+            run = exists_two_step_run(
+                factory, 6, {0, 1}, target=target, proposals=proposals
+            )
+            assert run is not None, f"no witness for {target}"
+
+    def test_no_witness_for_crashed_target(self):
+        factory, proposals = _factory(6, faulty={0, 1})
+        run = exists_two_step_run(factory, 6, {0, 1}, target=0, proposals=proposals)
+        assert run is None

@@ -1,0 +1,193 @@
+"""Tests for the discrete-event simulator: determinism, timers, crashes."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import (
+    BOTTOM,
+    ConfigurationError,
+    Context,
+    DeliverRecord,
+    Message,
+    Process,
+    SchedulerError,
+    TimerFiredRecord,
+)
+from repro.sim import CrashPlan, FixedLatency, RandomLatency, Simulation
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    hop: int
+
+
+class Echo(Process):
+    """Bounces pings with an incrementing hop count, decides at hop 3."""
+
+    def on_start(self, ctx: Context) -> None:
+        if self.pid == 0:
+            ctx.broadcast(Ping(0))
+
+    def on_message(self, ctx: Context, sender, message: Message) -> None:
+        if message.hop >= 3:
+            ctx.decide(message.hop)
+            return
+        ctx.send(sender, Ping(message.hop + 1))
+
+
+class TimerUser(Process):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.fired = []
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.set_timer("a", 1.0)
+        ctx.set_timer("b", 2.0)
+        ctx.set_timer("a", 5.0)  # re-arm replaces the 1.0 deadline
+
+    def on_message(self, ctx: Context, sender, message: Message) -> None:
+        pass
+
+    def on_timer(self, ctx: Context, name: str) -> None:
+        self.fired.append((ctx.now, name))
+        if name == "b":
+            ctx.cancel_timer("a")
+
+
+class TestBasicExecution:
+    def test_ping_pong_terminates(self):
+        sim = Simulation(lambda pid, n: Echo(pid, n), 3, latency=FixedLatency(1.0))
+        run = sim.run()
+        # hops: 0 sent at t=0, replies at 1, 2, 3; hop 3 delivered at t=4.
+        assert run.decided_values() == {3}
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(lambda pid, n: Echo(pid, n), 0)
+
+    def test_until_cuts_off(self):
+        sim = Simulation(lambda pid, n: Echo(pid, n), 3, latency=FixedLatency(1.0))
+        run = sim.run(until=2.0)
+        assert run.decided_values() == set()
+        assert sim.time == 2.0
+
+    def test_stop_condition(self):
+        sim = Simulation(lambda pid, n: Echo(pid, n), 3, latency=FixedLatency(1.0))
+        run = sim.run(stop=lambda r: bool(r.decisions))
+        assert len(run.decisions) >= 1
+
+    def test_max_events_guard(self):
+        class Chatty(Process):
+            def on_start(self, ctx):
+                ctx.send(self.pid, Ping(0))
+
+            def on_message(self, ctx, sender, message):
+                ctx.send(self.pid, Ping(0))
+
+        sim = Simulation(lambda pid, n: Chatty(pid, n), 1, latency=FixedLatency(1.0))
+        with pytest.raises(SchedulerError, match="exceeded"):
+            sim.run(max_events=100)
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        sim = Simulation(
+            lambda pid, n: Echo(pid, n), 4, latency=RandomLatency(0.5, 2.0, seed=seed)
+        )
+        run = sim.run()
+        return [(r.time, type(r).__name__) for r in run.records]
+
+    def test_same_seed_same_trace(self):
+        assert self._trace(42) == self._trace(42)
+
+    def test_different_seed_different_trace(self):
+        assert self._trace(1) != self._trace(2)
+
+
+class TestTimers:
+    def test_rearm_replaces_deadline(self):
+        sim = Simulation(lambda pid, n: TimerUser(pid, n), 1)
+        sim.run()
+        process = sim.processes[0]
+        # 'b' fires at 2.0 and cancels 'a' (re-armed to 5.0), so only 'b'.
+        assert process.fired == [(2.0, "b")]
+
+    def test_timer_fired_records(self):
+        sim = Simulation(lambda pid, n: TimerUser(pid, n), 1)
+        run = sim.run()
+        fired = run.of_kind(TimerFiredRecord)
+        assert [(r.time, r.name) for r in fired] == [(2.0, "b")]
+
+    def test_negative_delay_rejected(self):
+        class Bad(Process):
+            def on_start(self, ctx):
+                ctx.set_timer("x", -1.0)
+
+            def on_message(self, ctx, sender, message):
+                pass
+
+        sim = Simulation(lambda pid, n: Bad(pid, n), 1)
+        with pytest.raises(SchedulerError):
+            sim.run()
+
+
+class TestCrashes:
+    def test_crash_at_start_suppresses_everything(self):
+        sim = Simulation(
+            lambda pid, n: Echo(pid, n),
+            3,
+            latency=FixedLatency(1.0),
+            crashes=CrashPlan.at_start([0]),
+        )
+        run = sim.run()
+        # Process 0 never starts, so no pings at all.
+        assert run.message_count() == 0
+        assert run.crashed == {0}
+
+    def test_mid_run_crash_drops_later_deliveries(self):
+        sim = Simulation(
+            lambda pid, n: Echo(pid, n),
+            2,
+            latency=FixedLatency(1.0),
+            crashes=CrashPlan.at(1.5, [1]),
+        )
+        run = sim.run()
+        # p1 received hop 0 at t=1 and replied; it crashed at 1.5, so the
+        # hop-2 ping addressed to it at t=3 is dropped silently.
+        deliveries_to_1 = [r for r in run.deliveries() if r.receiver == 1]
+        assert len(deliveries_to_1) == 1
+
+    def test_crash_budget_enforced(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            Simulation(
+                lambda pid, n: Echo(pid, n),
+                3,
+                crashes=CrashPlan.at_start([0, 1]),
+                f=1,
+            )
+
+    def test_crash_plan_unknown_pid(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(lambda pid, n: Echo(pid, n), 2, crashes=CrashPlan.at_start([5]))
+
+
+class TestInjection:
+    def test_injected_message_delivered(self):
+        sim = Simulation(lambda pid, n: Echo(pid, n), 2, latency=FixedLatency(1.0))
+        sim.inject(0.5, 1, Ping(3))
+        run = sim.run()
+        assert run.decision_time(1) == 0.5
+
+    def test_injection_into_past_rejected(self):
+        sim = Simulation(lambda pid, n: Echo(pid, n), 2, latency=FixedLatency(1.0))
+        sim.run(until=5.0)
+        with pytest.raises(SchedulerError):
+            sim.inject(1.0, 0, Ping(0))
+
+    def test_run_until_all_decide(self):
+        sim = Simulation(lambda pid, n: Echo(pid, n), 2, latency=FixedLatency(1.0))
+        sim.inject(0.0, 0, Ping(3))
+        sim.inject(0.0, 1, Ping(3))
+        run = sim.run_until_all_decide()
+        assert set(run.decisions) == {0, 1}

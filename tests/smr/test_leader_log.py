@@ -1,0 +1,148 @@
+"""Tests for the Multi-Paxos SMR baseline."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.omega import lowest_correct_omega_factory, static_omega_factory
+from repro.smr import (
+    KVCommand,
+    MultiPaxosReplica,
+    multipaxos_factory,
+    put_get_workload,
+    run_kv_workload,
+)
+from repro.smr.client import ClientOp
+from repro.sim import CrashPlan
+
+N, F = 5, 2
+
+
+def factory(faulty=frozenset()):
+    return multipaxos_factory(
+        F, omega_factory=lowest_correct_omega_factory(set(faulty))
+    )
+
+
+class TestConfiguration:
+    def test_requires_2f_plus_1(self):
+        with pytest.raises(ConfigurationError):
+            MultiPaxosReplica(0, 4, 2)
+
+    def test_commands_need_ids(self):
+        outcome = run_kv_workload(factory(), N, [], until=5.0)
+        with pytest.raises(ConfigurationError):
+            outcome.replicas[0].submit(
+                _ctx(), KVCommand(op="put", key="k", value=1)
+            )
+
+
+def _ctx():
+    class Ctx:
+        now = 0.0
+
+        def send(self, dst, message):
+            pass
+
+        def set_timer(self, name, delay):
+            pass
+
+        def cancel_timer(self, name):
+            pass
+
+        def decide(self, value):
+            pass
+
+    return Ctx()
+
+
+class TestLatencyShape:
+    def test_leader_proxy_commits_in_two_delays(self):
+        ops = [
+            ClientOp(0.0, 0, KVCommand(op="put", key="k", value=1, command_id="c0"))
+        ]
+        outcome = run_kv_workload(factory(), N, ops, until=60.0)
+        assert outcome.commit_latency["c0"] == 2.0
+
+    def test_remote_proxy_pays_forward_and_notify(self):
+        ops = [
+            ClientOp(0.0, 3, KVCommand(op="put", key="k", value=1, command_id="c0"))
+        ]
+        outcome = run_kv_workload(factory(), N, ops, until=60.0)
+        # forward (1Δ) + 2A/2B (2Δ) + notify (1Δ)
+        assert outcome.commit_latency["c0"] == 4.0
+
+    def test_mixed_workload_completes(self):
+        ops = put_get_workload(8, ["x", "y"], proxies=list(range(N)), spacing=5.0)
+        outcome = run_kv_workload(factory(), N, ops, until=200.0)
+        assert not outcome.unfinished
+        stores = [r.store.snapshot() for r in outcome.replicas]
+        assert all(store == stores[0] for store in stores)
+
+
+class TestOrderingAndResults:
+    def test_slot_order_matches_leader_arrival(self):
+        ops = [
+            ClientOp(0.0, 1, KVCommand(op="put", key="k", value=1, command_id="a")),
+            ClientOp(0.2, 2, KVCommand(op="put", key="k", value=2, command_id="b")),
+        ]
+        outcome = run_kv_workload(factory(), N, ops, until=60.0)
+        log = outcome.replicas[0].committed_log()
+        assert [log[s].command_id for s in sorted(log)] == ["a", "b"]
+        assert all(r.store.snapshot() == {"k": 2} for r in outcome.replicas)
+
+    def test_read_results_reflect_prior_writes(self):
+        ops = [
+            ClientOp(0.0, 0, KVCommand(op="put", key="k", value=9, command_id="w")),
+            ClientOp(6.0, 2, KVCommand(op="get", key="k", command_id="r")),
+        ]
+        outcome = run_kv_workload(factory(), N, ops, until=80.0)
+        assert outcome.results["r"] == 9
+
+    def test_no_duplicate_commands_in_log(self):
+        ops = put_get_workload(6, ["x"], proxies=[0, 1, 2], spacing=1.0)
+        outcome = run_kv_workload(factory(), N, ops, until=200.0)
+        log = outcome.replicas[0].committed_log()
+        ids = [c.command_id for c in log.values() if not c.command_id.startswith("__")]
+        assert len(ids) == len(set(ids))
+
+
+class TestLeaderFailure:
+    def test_view_change_recovers_commands(self):
+        ops = put_get_workload(4, ["x"], proxies=[1, 2, 3, 4], spacing=3.0)
+        outcome = run_kv_workload(
+            factory(faulty={0}), N, ops, until=400.0, crashes=CrashPlan.at(1.0, [0])
+        )
+        assert not outcome.unfinished
+        live = [r for r in outcome.replicas if r.pid != 0]
+        logs = [
+            {s: c.command_id for s, c in replica.decided.items()} for replica in live
+        ]
+        assert all(log == logs[0] for log in logs)
+
+    def test_in_flight_command_survives_leader_crash(self):
+        # The command reaches the leader, 2As go out, leader dies before
+        # deciding; the new leader must adopt the accepted value.
+        ops = [
+            ClientOp(0.0, 1, KVCommand(op="put", key="k", value=7, command_id="c0"))
+        ]
+        outcome = run_kv_workload(
+            factory(faulty={0}),
+            N,
+            ops,
+            until=400.0,
+            crashes=CrashPlan.at(1.5, [0]),  # after accepting, before quorum
+        )
+        assert "c0" in outcome.commit_latency
+        live = [r for r in outcome.replicas if r.pid != 0]
+        assert all(r.store.snapshot().get("k") == 7 for r in live)
+
+    def test_no_two_step_commit_for_any_proxy_when_leader_down(self):
+        # The paper's contrast: a leader-based SMR cannot give any client
+        # a fast answer while the leader is being replaced.
+        ops = [
+            ClientOp(0.0, 2, KVCommand(op="put", key="k", value=1, command_id="c0"))
+        ]
+        outcome = run_kv_workload(
+            factory(faulty={0}), N, ops, until=400.0, crashes=CrashPlan.at_start([0])
+        )
+        assert outcome.commit_latency.get("c0", 99.0) > 2.0

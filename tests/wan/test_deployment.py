@@ -1,0 +1,123 @@
+"""Tests for WAN deployments: predictions must match measurements."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.wan import (
+    Deployment,
+    fast_path_prediction,
+    five_regions,
+    measured_commit_latency_twostep,
+    per_site_latency_table,
+    predicted_commit_latency_twostep,
+    round_robin_deployment,
+    seven_regions,
+)
+
+
+class TestPlacement:
+    def test_round_robin(self):
+        deployment = round_robin_deployment(five_regions(), 7)
+        assert deployment.placement == (0, 1, 2, 3, 4, 0, 1)
+
+    def test_rtt_symmetric_data(self):
+        deployment = round_robin_deployment(five_regions(), 5)
+        assert deployment.rtt(0, 2) == deployment.rtt(2, 0)
+
+    def test_delta_is_max_one_way(self):
+        deployment = round_robin_deployment(five_regions(), 5)
+        assert deployment.delta() == deployment.topology.max_one_way()
+
+    def test_site_of(self):
+        deployment = round_robin_deployment(five_regions(), 6)
+        assert deployment.site_of(5) == deployment.topology.sites[0]
+
+
+class TestPrediction:
+    def test_kth_nearest_rtt(self):
+        deployment = round_robin_deployment(five_regions(), 5)
+        rtts = sorted(deployment.rtt(0, pid) for pid in range(1, 5))
+        assert fast_path_prediction(deployment, 0, 1) == rtts[0]
+        assert fast_path_prediction(deployment, 0, 4) == rtts[3]
+
+    def test_zero_responses_is_free(self):
+        deployment = round_robin_deployment(five_regions(), 5)
+        assert fast_path_prediction(deployment, 0, 0) == 0.0
+
+    def test_too_many_responses_rejected(self):
+        deployment = round_robin_deployment(five_regions(), 5)
+        with pytest.raises(ConfigurationError):
+            fast_path_prediction(deployment, 0, 5)
+
+    def test_growing_n_at_fixed_e_costs_latency(self):
+        """The paper's practical point: each extra process a stronger
+        definition demands pushes the quorum to a farther site."""
+        topo = seven_regions()
+        e = 2
+        latencies = []
+        for n in (5, 6, 7):
+            deployment = round_robin_deployment(topo, n)
+            latencies.append(predicted_commit_latency_twostep(deployment, 0, e))
+        assert latencies[0] <= latencies[1] <= latencies[2]
+        assert latencies[2] > latencies[0]  # strictly worse overall
+
+
+class TestMeasurement:
+    def test_simulation_matches_prediction_exactly(self):
+        deployment = round_robin_deployment(five_regions(), 5)
+        for proposer in range(5):
+            predicted = predicted_commit_latency_twostep(deployment, proposer, 2)
+            measured = measured_commit_latency_twostep(deployment, proposer, 2, 2)
+            assert measured == pytest.approx(predicted)
+
+    def test_per_site_table_rows(self):
+        deployment = round_robin_deployment(five_regions(), 5)
+        rows = per_site_latency_table(deployment, e=2, f=2)
+        assert len(rows) == 5
+        for row in rows:
+            assert row["measured_ms"] == pytest.approx(row["predicted_ms"])
+
+
+class TestProtocolPredictions:
+    def test_paxos_leader_proxy_is_cheapest(self):
+        from repro.wan.deployment import predicted_commit_latency_paxos
+
+        deployment = round_robin_deployment(seven_regions(), 5)
+        leader_latency = predicted_commit_latency_paxos(deployment, 0, 2, leader=0)
+        for proxy in range(1, 5):
+            assert (
+                predicted_commit_latency_paxos(deployment, proxy, 2, leader=0)
+                > leader_latency
+            )
+
+    def test_paxos_remote_proxy_pays_forward_and_reply_hops(self):
+        from repro.wan.deployment import predicted_commit_latency_paxos
+
+        deployment = round_robin_deployment(seven_regions(), 5)
+        base = predicted_commit_latency_paxos(deployment, 0, 2, leader=0)
+        remote = predicted_commit_latency_paxos(deployment, 3, 2, leader=0)
+        assert remote == pytest.approx(base + deployment.rtt(3, 0))
+
+    def test_fast_paxos_same_formula_bigger_n(self):
+        from repro.wan.deployment import (
+            predicted_commit_latency_fast_paxos,
+        )
+
+        topo = seven_regions()
+        small = round_robin_deployment(topo, 5)
+        big = round_robin_deployment(topo, 7)
+        assert predicted_commit_latency_fast_paxos(
+            big, 0, 2
+        ) >= predicted_commit_latency_twostep(small, 0, 2)
+
+    def test_comparison_rows_shape(self):
+        from repro.analysis import e5_protocol_comparison_rows
+
+        rows = e5_protocol_comparison_rows(2, 2)
+        by_protocol = {r["protocol"]: r for r in rows}
+        assert by_protocol["twostep-object"]["n"] == 5
+        assert by_protocol["fast-paxos"]["n"] == 7
+        assert (
+            by_protocol["twostep-object"]["mean_ms"]
+            < by_protocol["fast-paxos"]["mean_ms"]
+        )

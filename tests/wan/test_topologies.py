@@ -1,0 +1,64 @@
+"""Tests for the WAN topology data."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.wan import (
+    INTRA_REGION_MS,
+    REGIONS,
+    five_regions,
+    nine_regions,
+    one_way_ms,
+    seven_regions,
+    three_continents,
+    topology,
+)
+
+
+class TestLatencyData:
+    def test_symmetric(self):
+        for a in REGIONS:
+            for b in REGIONS:
+                assert one_way_ms(a, b) == one_way_ms(b, a)
+
+    def test_intra_region(self):
+        assert one_way_ms("us-east", "us-east") == INTRA_REGION_MS
+
+    def test_complete_coverage(self):
+        # every pair has data (would raise otherwise)
+        for a in REGIONS:
+            for b in REGIONS:
+                assert one_way_ms(a, b) > 0
+
+    def test_wan_scale(self):
+        # cross-continent latencies are in the "hundreds of ms RTT" regime
+        assert one_way_ms("us-east", "ap-southeast") >= 50
+        assert one_way_ms("eu-west", "au-southeast") >= 100
+
+    def test_unknown_region(self):
+        with pytest.raises(ConfigurationError):
+            one_way_ms("us-east", "atlantis")
+
+
+class TestTopologyBuilders:
+    def test_matrix_shape(self):
+        topo = five_regions()
+        assert len(topo.sites) == 5
+        assert all(len(row) == 5 for row in topo.matrix)
+
+    def test_named_sizes(self):
+        assert len(three_continents().sites) == 3
+        assert len(seven_regions().sites) == 7
+        assert len(nine_regions().sites) == 9
+
+    def test_site_index(self):
+        topo = five_regions()
+        assert topo.sites[topo.site_index("eu-west")] == "eu-west"
+
+    def test_max_one_way(self):
+        topo = nine_regions()
+        assert topo.max_one_way() == max(max(row) for row in topo.matrix)
+
+    def test_custom_topology_validates_regions(self):
+        with pytest.raises(ConfigurationError):
+            topology(["us-east", "narnia"])
