@@ -4,8 +4,9 @@
 Two demonstrations of the bounded exhaustive explorer:
 
 1. **An exhaustive safety proof.** Every schedule of Figure 1's fast path
-   at n = 3 (f = e = 1) — every interleaving of every message delivery —
-   is enumerated and checked for Agreement and Validity. A clean report
+   at n = 3 (f = e = 1) — every interleaving of every message delivery,
+   first crash-free and then with the default crash budget of f — is
+   enumerated and checked for Agreement and Validity. A clean report
    is a proof for this configuration, not a statistical claim.
 
 2. **The Theorem 5 violation as a concrete schedule.** One process below
@@ -30,9 +31,19 @@ def exhaustive_proof() -> None:
     factory = twostep_task_factory(
         proposals, 1, 1, omega_factory=static_omega_factory(0)
     )
-    report = explore(factory, 3, 1, proposals=proposals, timer_fires=0)
+    report = explore(
+        factory, 3, 1, proposals=proposals, timer_fires=0, max_crashes=0
+    )
     print(f"   {report.describe()}")
-    print("   Every fast-path schedule checked; none violates the spec.")
+    print("   Every crash-free fast-path schedule checked; none violates")
+    print("   the spec.")
+    print()
+    # The default crash budget is the model's f, so dropping max_crashes=0
+    # also explores every schedule with up to one crash:
+    report = explore(factory, 3, 1, proposals=proposals, timer_fires=0)
+    print(f"   with crashes (budget f=1): {report.describe().splitlines()[0]}")
+    if report.metrics is not None:
+        print(f"   metrics: {report.metrics.describe()}")
     print()
     # ... and with a full recovery ballot interleaved with in-flight votes:
     prefix = [

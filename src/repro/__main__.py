@@ -7,6 +7,8 @@ Usage::
     python -m repro witness task 2 2     # Appendix B.1 below Theorem 5
     python -m repro witness object 3 3   # Appendix B.2 below Theorem 6
     python -m repro experiment e5        # any of e1..e10
+    python -m repro fuzz --workers 4     # adversarial schedule fuzzing
+    python -m repro explore --workers 2  # exhaustive safety exploration
     python -m repro all                  # everything (a few minutes)
 """
 
@@ -19,6 +21,7 @@ from typing import Callable, Dict, List
 from .analysis import (
     e1_bounds_rows,
     e2_feasibility_rows,
+    e2_fuzz_rows,
     e3_two_step_coverage_rows,
     e4_latency_vs_conflict_rows,
     e5_wan_rows,
@@ -34,7 +37,9 @@ from .bounds import object_lower_bound_witness, task_lower_bound_witness
 
 _EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "e1": lambda: render_records(e1_bounds_rows(5), title="E1 — bounds"),
-    "e2": lambda: render_records(e2_feasibility_rows(), title="E2 — feasibility"),
+    "e2": lambda: render_records(e2_feasibility_rows(), title="E2 — feasibility")
+    + "\n"
+    + render_records(e2_fuzz_rows(), title="E2 — fuzzing arm (at the bound)"),
     "e3": lambda: render_records(
         e3_two_step_coverage_rows(), title="E3 — two-step coverage", float_digits=2
     ),
@@ -82,10 +87,100 @@ def _cmd_witness(args: argparse.Namespace) -> int:
     return 0 if result.violation_found else 1
 
 
+def _task_config(n: int, f: int, e: int):
+    """Figure 1 task config; enforcement off below the bound.
+
+    Probing below the Theorem 5 bound is exactly what the fuzz/explore
+    subcommands are for, so instead of letting the factory reject the
+    configuration we disable its guard and let the checkers report the
+    (expected) violations.
+    """
+    from .bounds.formulas import min_processes_task
+    from .protocols.twostep import TwoStepConfig
+
+    if n >= min_processes_task(f, e):
+        return None  # factory default: bound enforced
+    print(
+        f"note: n={n} is below the task bound "
+        f"{min_processes_task(f, e)} — expecting violations"
+    )
+    return TwoStepConfig(f=f, e=e, enforce_bound=False)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .bounds.driver import fuzz_campaign
+    from .omega import static_omega_factory
+    from .protocols.twostep import twostep_task_factory
+
+    proposals = {pid: pid % 3 for pid in range(args.n)}
+    config = _task_config(args.n, args.f, args.e)
+    result = fuzz_campaign(
+        lambda seed: twostep_task_factory(
+            proposals,
+            args.f,
+            args.e,
+            omega_factory=static_omega_factory(0),
+            config=config,
+        ),
+        args.n,
+        args.f,
+        schedules=args.schedules,
+        proposals=proposals,
+        steps=args.steps,
+        workers=args.workers,
+    )
+    print(
+        f"fuzz: n={args.n} f={args.f} e={args.e} "
+        f"schedules={result.schedules_run} violations={len(result.violating_seeds)}"
+    )
+    if result.metrics:
+        print(f"metrics: {result.metrics.describe()}")
+    if result.found_violation:
+        print(f"first violating seed: {result.violating_seeds[0]}")
+        for violation in result.first_violation or []:
+            print(f"  {violation}")
+    return 1 if result.found_violation else 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .checks.explore import explore
+    from .omega import static_omega_factory
+    from .protocols.twostep import twostep_task_factory
+
+    proposals = {pid: pid % 2 for pid in range(args.n)}
+    factory = twostep_task_factory(
+        proposals,
+        args.f,
+        args.e,
+        omega_factory=static_omega_factory(0),
+        config=_task_config(args.n, args.f, args.e),
+    )
+    report = explore(
+        factory,
+        args.n,
+        args.f,
+        proposals=proposals,
+        timer_fires=args.timer_fires,
+        max_crashes=args.max_crashes,
+        max_states=args.max_states,
+        workers=args.workers,
+    )
+    print(
+        f"explore: n={args.n} f={args.f} e={args.e} "
+        f"states={report.states_visited} exhaustive={report.exhaustive} "
+        f"safe={report.safe}"
+    )
+    if report.metrics:
+        print(f"metrics: {report.metrics.describe()}")
+    if not report.safe and report.violation:
+        print(f"violation: {report.violation}")
+    return 0 if report.safe else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import generate_report
 
-    text = generate_report(quick=args.quick)
+    text = generate_report(quick=args.quick, workers=args.workers)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -119,11 +214,51 @@ def build_parser() -> argparse.ArgumentParser:
     wit.add_argument("e", type=int)
     wit.set_defaults(fn=_cmd_witness)
     sub.add_parser("all", help="run every experiment").set_defaults(fn=_cmd_all)
+    fuzz = sub.add_parser(
+        "fuzz", help="random adversarial schedule fuzzing at the task bound"
+    )
+    fuzz.add_argument("--n", type=int, default=6, help="processes (default 6)")
+    fuzz.add_argument("--f", type=int, default=2, help="crash budget (default 2)")
+    fuzz.add_argument("--e", type=int, default=2, help="fast-decision budget (default 2)")
+    fuzz.add_argument("--schedules", type=int, default=150, help="seeds to run")
+    fuzz.add_argument("--steps", type=int, default=400, help="max steps per schedule")
+    fuzz.add_argument(
+        "--workers", type=int, default=1, help="fork-pool shards (1 = serial)"
+    )
+    fuzz.set_defaults(fn=_cmd_fuzz)
+    explore_parser = sub.add_parser(
+        "explore", help="bounded exhaustive safety exploration"
+    )
+    explore_parser.add_argument("--n", type=int, default=3, help="processes (default 3)")
+    explore_parser.add_argument("--f", type=int, default=1, help="crash budget")
+    explore_parser.add_argument("--e", type=int, default=1, help="fast-decision budget")
+    explore_parser.add_argument(
+        "--timer-fires", type=int, default=0, help="total timer expirations explored"
+    )
+    explore_parser.add_argument(
+        "--max-crashes",
+        type=int,
+        default=None,
+        help="crash actions per schedule (default: f)",
+    )
+    explore_parser.add_argument(
+        "--max-states", type=int, default=200_000, help="state cap"
+    )
+    explore_parser.add_argument(
+        "--workers", type=int, default=1, help="fork-pool shards (1 = serial)"
+    )
+    explore_parser.set_defaults(fn=_cmd_explore)
     rep = sub.add_parser(
         "report", help="generate the full markdown reproduction report"
     )
     rep.add_argument("--output", "-o", default=None, help="write to a file")
     rep.add_argument("--quick", action="store_true", help="trimmed trial counts")
+    rep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fork-pool shards for the verification-engine section",
+    )
     rep.set_defaults(fn=_cmd_report)
     return parser
 

@@ -3,6 +3,7 @@
 from .experiments import (
     e1_bounds_rows,
     e2_feasibility_rows,
+    e2_fuzz_rows,
     e3_two_step_coverage_rows,
     e4_latency_vs_conflict_rows,
     e5_protocol_comparison_rows,
@@ -15,6 +16,7 @@ from .experiments import (
     e10_smr_comparison_rows,
     e10_smr_rows,
     random_fast_decision_reports,
+    verification_engine_summary,
 )
 from .figures import Series, bar_chart, line_chart, series
 from .report import generate_report
@@ -29,6 +31,7 @@ __all__ = [
     "e1_bounds_rows",
     "generate_report",
     "e2_feasibility_rows",
+    "e2_fuzz_rows",
     "e3_two_step_coverage_rows",
     "e4_latency_vs_conflict_rows",
     "e5_protocol_comparison_rows",
@@ -48,4 +51,5 @@ __all__ = [
     "render_table",
     "series",
     "summarize",
+    "verification_engine_summary",
 ]

@@ -136,6 +136,87 @@ def e2_feasibility_rows(
     return rows
 
 
+def e2_fuzz_rows(
+    configs: Sequence[Tuple[int, int]] = ((2, 2), (3, 3)),
+    schedules: int = 150,
+    workers: int = 1,
+    steps: int = 400,
+) -> List[Dict[str, object]]:
+    """E2's fuzzing arm: random adversarial schedules at the task bound.
+
+    Structured witnesses prove the bounds bite *below*; this arm batters
+    the protocol *at* the bound with random schedules and reports the
+    campaign throughput. ``workers`` shards the seed range across a fork
+    pool — the verdict columns are identical for any worker count.
+    """
+    from ..bounds.driver import fuzz_campaign
+    from ..protocols.twostep import twostep_task_factory
+
+    rows: List[Dict[str, object]] = []
+    for f, e in configs:
+        n = min_processes_task(f, e)
+        proposals = {pid: pid % 3 for pid in range(n)}
+        result = fuzz_campaign(
+            lambda seed, proposals=proposals, f=f, e=e: twostep_task_factory(
+                proposals, f, e, omega_factory=static_omega_factory(0)
+            ),
+            n,
+            f,
+            schedules=schedules,
+            proposals=proposals,
+            steps=steps,
+            workers=workers,
+        )
+        rows.append(
+            {
+                "f": f,
+                "e": e,
+                "n": n,
+                "schedules": result.schedules_run,
+                "violations": len(result.violating_seeds),
+                "sched_per_s": round(result.metrics.units_per_sec, 1),
+                "workers": workers,
+            }
+        )
+    return rows
+
+
+def verification_engine_summary(
+    quick: bool = True, workers: int = 1
+) -> Dict[str, object]:
+    """Instrumented run of both verification engines on E2 configurations.
+
+    Returns the raw :class:`~repro.checks.explore.ExplorationReport` and
+    :class:`~repro.bounds.search.FuzzResult` (both carrying ``metrics``)
+    so the report can render throughput, dedup rate, and worker breakdown.
+    """
+    from ..bounds.driver import fuzz_campaign
+    from ..checks.explore import explore
+    from ..protocols.twostep import twostep_task_factory
+
+    proposals = {0: 1, 1: 0, 2: 0}
+    factory = twostep_task_factory(
+        proposals, 1, 1, omega_factory=static_omega_factory(0)
+    )
+    exploration = explore(
+        factory, 3, 1, proposals=proposals, timer_fires=0, workers=workers
+    )
+
+    n, f, e = 6, 2, 2
+    fuzz_proposals = {pid: pid % 3 for pid in range(n)}
+    fuzz = fuzz_campaign(
+        lambda seed: twostep_task_factory(
+            fuzz_proposals, f, e, omega_factory=static_omega_factory(0)
+        ),
+        n,
+        f,
+        schedules=60 if quick else 300,
+        proposals=fuzz_proposals,
+        workers=workers,
+    )
+    return {"explore": exploration, "fuzz": fuzz}
+
+
 # ----------------------------------------------------------------------
 # E3 — two-step coverage across protocols.
 # ----------------------------------------------------------------------
@@ -639,6 +720,8 @@ def e9_ablation_rows(
     e: int = 2,
     trials: int = 1500,
     seed: int = 11,
+    fuzz_schedules: int = 0,
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
     """Disable each ingredient; report which guarantee breaks.
 
@@ -646,6 +729,10 @@ def e9_ablation_rows(
     fast-decision scenarios at ``n = 2e + f`` (task semantics): any
     non-zero count is a latent agreement violation. ``two_step_ok`` runs
     the Definition 4 checker (sampled).
+
+    ``fuzz_schedules > 0`` adds a schedule-level arm: that many random
+    adversarial schedules per ablation at the bound (sharded across
+    ``workers``), reported as a ``fuzz_violations`` column.
     """
     n = min_processes_task(f, e)
     n_object = min_processes_object(f, e)
@@ -712,16 +799,31 @@ def e9_ablation_rows(
             max_configurations=8,
             max_faulty_sets=6,
         )
-        rows.append(
-            {
-                "ablation": label,
-                "n": n,
-                "two_step_ok": report.satisfied,
-                "recovery_failures_task": failures,
-                "recovery_failures_object": object_failures,
-                "trials": trials,
-            }
-        )
+        row: Dict[str, object] = {
+            "ablation": label,
+            "n": n,
+            "two_step_ok": report.satisfied,
+            "recovery_failures_task": failures,
+            "recovery_failures_object": object_failures,
+            "trials": trials,
+        }
+        if fuzz_schedules > 0:
+            from ..bounds.driver import fuzz_campaign
+
+            builder = twostep_task_builder(f, e, config=config)
+            proposals = {pid: pid % 3 for pid in range(n)}
+            fuzz = fuzz_campaign(
+                lambda s, builder=builder, proposals=proposals: builder(
+                    proposals, frozenset()
+                ),
+                n,
+                f,
+                schedules=fuzz_schedules,
+                proposals=proposals,
+                workers=workers,
+            )
+            row["fuzz_violations"] = len(fuzz.violating_seeds)
+        rows.append(row)
     return rows
 
 

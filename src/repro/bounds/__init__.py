@@ -14,6 +14,7 @@ from .formulas import (
     min_processes_object,
     min_processes_task,
 )
+from .driver import fuzz_campaign
 from .search import FuzzResult, fuzz_safety, random_adversarial_run
 from .witness_object import (
     ObjectPartition,
@@ -39,6 +40,7 @@ __all__ = [
     "default_object_partition",
     "default_task_partition",
     "epaxos_fast_threshold",
+    "fuzz_campaign",
     "fuzz_safety",
     "interesting_configurations",
     "max_e_lamport",

@@ -11,29 +11,50 @@ authoritative artifact; a fuzzer's silence proves nothing).
 The schedule generator biases toward the shapes that break fast consensus:
 it likes delivering proposal messages to partial audiences, crashing
 proposers right after their fast decision, and firing ballot timers early.
+A schedule ends early once every live process has decided — in the
+crash-stop model decisions are final and further deliveries cannot add
+decide records, so the post-decision suffix carries no signal.
+
+Campaigns can shard their seed list across a ``multiprocessing`` fork
+pool (``workers=``). Sharding is round-robin by position and the merge is
+deterministic: ``fuzz_safety(..., workers=k)`` returns a result identical
+to the serial one on the same seed list, whatever ``k``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Mapping, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.process import ProcessFactory, ProcessId
 from ..core.runs import Run
 from ..core.specs import Violation, check_agreement, check_validity
 from ..core.values import MaybeValue
 from ..sim.arena import Arena
+from ..verify.metrics import MetricsRecorder, VerificationMetrics, WorkerMetrics
+
+#: Sentinel distinguishing "message has no .value attribute" from
+#: "message.value is None".
+_MISSING = object()
 
 
 @dataclass
 class FuzzResult:
-    """Aggregate of a fuzzing campaign."""
+    """Aggregate of a fuzzing campaign.
+
+    ``metrics`` is excluded from equality: two campaigns over the same
+    seeds are *identical* when their schedules and verdicts agree, however
+    long they took or however many workers ran them.
+    """
 
     schedules_run: int
     violating_seeds: List[int] = field(default_factory=list)
     first_violation: Optional[List[Violation]] = None
     first_violating_run: Optional[Run] = None
+    metrics: Optional[VerificationMetrics] = field(default=None, compare=False)
 
     @property
     def found_violation(self) -> bool:
@@ -68,58 +89,128 @@ def random_adversarial_run(
     ]
     rng.shuffle(pending_injections)
     for pid, message in (injections or {}).items():
-        arena.run_record.proposals[pid] = getattr(message, "value", None)
+        if pid in arena.run_record.proposals:
+            continue  # an explicitly passed proposal wins; never clobber it
+        value = getattr(message, "value", _MISSING)
+        if value is not _MISSING:
+            arena.run_record.proposals[pid] = value
 
+    # Hot loop. One weighted action per step, chosen by walking the
+    # cumulative weights with a single rng.random() draw (what
+    # ``rng.choices`` would do, minus its per-call list building). The
+    # action menu only depends on *whether* each pool is non-empty, so the
+    # (O(pool)) snapshots are built lazily, after an action is chosen.
+    record = arena.run_record
+    decisions = record.decisions  # live reference, not a copy
+    crashed = arena.crashed
+    pending_pool = arena.pending
+    rng_random = rng.random
+    live = list(range(n))
     crashes_left = f
     for _ in range(steps):
-        actions: List[Callable[[], None]] = []
-        weights: List[int] = []
+        if not pending_injections and len(decisions) >= len(live) and all(
+            pid in decisions for pid in live
+        ):
+            break  # every live process decided; the suffix is pure churn
 
-        if pending_injections:
-            def do_inject() -> None:
-                pid, message = pending_injections.pop()
-                if pid not in arena.crashed:
-                    uid = arena.inject(pid, message)
-                    arena.deliver(arena.pending[uid])
-
-            actions.append(do_inject)
-            weights.append(4)
-
-        deliverable = arena.pending_messages()
-        if deliverable:
-            def do_deliver() -> None:
-                pm = rng.choice(deliverable)
-                if pm.uid in arena.pending and pm.receiver not in arena.crashed:
-                    arena.deliver(pm)
-
-            actions.append(do_deliver)
-            weights.append(6)
-
-        armed = [t for t in arena.timers() if t[0] not in arena.crashed]
-        if armed:
-            def do_fire() -> None:
-                pid, name, _ = rng.choice(armed)
-                if (pid, name) in {(a, b) for a, b, _ in arena.timers()}:
-                    arena.fire_timer(pid, name)
-
-            actions.append(do_fire)
-            weights.append(2)
-
-        live = sorted(set(range(n)) - arena.crashed)
-        if crashes_left > 0 and len(live) > 1:
-            def do_crash() -> None:
-                nonlocal crashes_left
-                arena.crash(rng.choice(live))
-                crashes_left -= 1
-
-            actions.append(do_crash)
-            weights.append(1)
-
-        if not actions:
+        w_inject = 4 if pending_injections else 0
+        w_deliver = 6 if pending_pool else 0
+        w_fire = 2 if arena.has_armed_timers() else 0
+        w_crash = 1 if crashes_left > 0 and len(live) > 1 else 0
+        total = w_inject + w_deliver + w_fire + w_crash
+        if not total:
             break
-        rng.choices(actions, weights=weights, k=1)[0]()
+        draw = rng_random() * total
+
+        if draw < w_inject:
+            pid, message = pending_injections.pop()
+            if pid not in crashed:
+                uid = arena.inject(pid, message)
+                arena.deliver(arena.pending[uid])
+        elif draw < w_inject + w_deliver:
+            pm = rng.choice(arena.pending_list())
+            if pm.receiver not in crashed:
+                arena.deliver(pm)
+        elif draw < w_inject + w_deliver + w_fire:
+            pid, name = rng.choice(arena.armed_timers())
+            arena.fire_timer(pid, name)
+        else:
+            pid = rng.choice(live)
+            arena.crash(pid)
+            live.remove(pid)
+            crashes_left -= 1
 
     return arena.run_record
+
+
+# ----------------------------------------------------------------------
+# Campaign driver (serial core + fork-pool sharding).
+# ----------------------------------------------------------------------
+
+#: Pre-fork campaign spec, inherited by workers via fork (the factory and
+#: injection callables are closures — inheritance sidesteps pickling).
+_FUZZ_SPEC: Optional[dict] = None
+
+
+def _run_positions(spec: dict, positions: Sequence[int]):
+    """Run the schedules at *positions* of the seed list; collect verdicts.
+
+    Returns ``(count, violations)`` where each violation entry is
+    ``(position, seed, violations, run_or_None)`` — the run is kept only
+    for the lowest violating position (all a merge can ever surface).
+    """
+    seeds = spec["seeds"]
+    injections_for_seed = spec["injections_for_seed"]
+    count = 0
+    found: List[Tuple[int, int, List[Violation], Optional[Run]]] = []
+    for position in positions:
+        seed = seeds[position]
+        injections = injections_for_seed(seed) if injections_for_seed else None
+        run = random_adversarial_run(
+            spec["factory_for_seed"](seed),
+            spec["n"],
+            spec["f"],
+            seed,
+            proposals=spec["proposals"],
+            injections=injections,
+            steps=spec["steps"],
+        )
+        count += 1
+        violations = check_agreement(run) + check_validity(run)
+        if violations:
+            found.append((position, seed, violations, run if not found else None))
+    return count, found
+
+
+def _fuzz_shard(worker_index: int):
+    """Pool target: run this worker's round-robin share of the seed list."""
+    spec = _FUZZ_SPEC
+    started = time.perf_counter()
+    count, found = _run_positions(
+        spec, range(worker_index, len(spec["seeds"]), spec["workers"])
+    )
+    return worker_index, count, time.perf_counter() - started, found
+
+
+def _merge_fuzz(parts, recorder: MetricsRecorder, workers: int) -> FuzzResult:
+    """Deterministically merge shard outputs (order = seed-list position)."""
+    per_worker = [
+        WorkerMetrics(worker=index, units=count, seconds=seconds)
+        for index, count, seconds, _ in sorted(parts, key=lambda part: part[0])
+    ]
+    all_found = sorted(
+        (entry for _, _, _, found in parts for entry in found),
+        key=lambda entry: entry[0],
+    )
+    result = FuzzResult(schedules_run=sum(count for _, count, _, _ in parts))
+    recorder.units = result.schedules_run
+    for position, seed, violations, run in all_found:
+        result.violating_seeds.append(seed)
+        if result.first_violation is None:
+            result.first_violation = violations
+            result.first_violating_run = run
+    result.metrics = recorder.finish(workers=workers, per_worker=per_worker)
+    return result
 
 
 def fuzz_safety(
@@ -130,30 +221,52 @@ def fuzz_safety(
     proposals: Optional[Mapping[ProcessId, MaybeValue]] = None,
     injections_for_seed: Optional[Callable[[int], Mapping[ProcessId, object]]] = None,
     steps: int = 400,
+    workers: int = 1,
 ) -> FuzzResult:
     """Run many random schedules; collect agreement/validity violations.
 
     *factory_for_seed* rebuilds a fresh factory per schedule (process state
     must not leak between runs). Termination is deliberately not checked:
     random schedules are not fair.
+
+    ``workers > 1`` shards the seed list round-robin across a fork pool.
+    Each schedule is a pure function of its seed, so the merged result is
+    identical to the serial one: same ``violating_seeds`` order (seed-list
+    order), same first violation. Falls back to serial where fork is
+    unavailable. ``result.metrics`` carries throughput and the per-worker
+    breakdown.
     """
-    result = FuzzResult(schedules_run=0)
-    for seed in seeds:
-        injections = injections_for_seed(seed) if injections_for_seed else None
-        run = random_adversarial_run(
-            factory_for_seed(seed),
-            n,
-            f,
-            seed,
-            proposals=proposals,
-            injections=injections,
-            steps=steps,
-        )
-        result.schedules_run += 1
-        violations = check_agreement(run) + check_validity(run)
-        if violations:
-            result.violating_seeds.append(seed)
-            if result.first_violation is None:
-                result.first_violation = violations
-                result.first_violating_run = run
-    return result
+    global _FUZZ_SPEC
+    seeds = list(seeds)
+    recorder = MetricsRecorder("fuzz")
+    spec = {
+        "factory_for_seed": factory_for_seed,
+        "n": n,
+        "f": f,
+        "seeds": seeds,
+        "proposals": proposals,
+        "injections_for_seed": injections_for_seed,
+        "steps": steps,
+        "workers": max(1, min(workers, len(seeds))),
+    }
+    if spec["workers"] > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platform
+            context = None
+        if context is not None:
+            _FUZZ_SPEC = spec
+            try:
+                with context.Pool(spec["workers"]) as pool:
+                    parts = pool.map(_fuzz_shard, range(spec["workers"]))
+            except OSError:  # pragma: no cover - fork denied at runtime
+                parts = None
+            finally:
+                _FUZZ_SPEC = None
+            if parts is not None:
+                return _merge_fuzz(parts, recorder, spec["workers"])
+
+    started = time.perf_counter()
+    count, found = _run_positions(spec, range(len(seeds)))
+    part = (0, count, time.perf_counter() - started, found)
+    return _merge_fuzz([part], recorder, 1)

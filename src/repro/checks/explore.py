@@ -14,6 +14,14 @@ checking Agreement and Validity in every state. States are canonicalized
 message multiset, the crash set, armed timer names) so the search visits
 each distinct global state once.
 
+Canonicalization is the dominant cost of an exhaustive proof, so it is
+engineered: snapshots are rendered into interned structural tuples (no
+recursive ``repr``), each process's rendering is memoized and invalidated
+only when that process is activated (a delivery or timer fire touches
+exactly one process, so ``n - 1`` renderings are reused per child), and
+message descriptions are cached per message object (messages are frozen
+and endlessly re-enqueued). See :class:`_SignatureEngine`.
+
 Exhaustiveness requires finite state spaces, so two bounds apply:
 
 * ``ballot_bound`` prunes states where any process advanced past a given
@@ -26,64 +34,167 @@ Exhaustiveness requires finite state spaces, so two bounds apply:
 Within those bounds a clean report is a *proof* of safety for the given
 configuration, not a statistical claim — the strongest form of evidence
 this library offers below a paper proof.
+
+With ``workers > 1`` the root's independent branches are sharded across a
+forked worker pool. Sharded search is equally sound (every schedule is
+still covered) but shards do not share visited sets, so states common to
+several root branches are re-explored; ``states_visited`` then counts work
+performed rather than distinct states.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.errors import SchedulerError
 from ..core.messages import Message
 from ..core.process import CLIENT, Context, Process, ProcessFactory, ProcessId
 from ..core.values import BOTTOM, MaybeValue, is_bottom
+from ..verify.metrics import MetricsRecorder, VerificationMetrics, WorkerMetrics
+
+#: Leaf types rendered as themselves (hashable, comparable within a type).
+_LEAF_TYPES = (int, float, str, bool, bytes)
 
 
-def _canonical(value) -> object:
-    """Order-insensitive, hashable rendering of protocol state."""
-    if isinstance(value, dict):
-        return tuple(
-            sorted((repr(_canonical(k)), _canonical(v)) for k, v in value.items())
-        )
-    if isinstance(value, (set, frozenset)):
-        return tuple(sorted(repr(_canonical(v)) for v in value))
-    if isinstance(value, (list, tuple)):
-        return tuple(_canonical(v) for v in value)
-    return repr(value)
+def _safe_sorted(items: list) -> list:
+    """Deterministic order for possibly type-mixed canonical values."""
+    try:
+        return sorted(items)
+    except TypeError:
+        return sorted(items, key=repr)
+
+
+class _SignatureEngine:
+    """Structural-hash canonicalization with interning and memo caches.
+
+    One engine serves one exploration (caches must not outlive the run:
+    message objects are only guaranteed alive while some world references
+    them). All methods are pure given the engine's caches.
+    """
+
+    def __init__(self) -> None:
+        # Interning canonical process snapshots shares the (heavily
+        # repeated) tuples between signatures: set lookups then usually
+        # short-circuit on identity instead of deep equality.
+        self._intern: Dict[object, object] = {}
+        self._describe: Dict[Message, str] = {}
+
+    def canonical(self, value: object) -> object:
+        """Order-insensitive, hashable rendering of protocol state.
+
+        Dicts and sets are tagged so ``{1: 2}``, ``{(1, 2)}`` and
+        ``[(1, 2)]`` cannot collide into the same tuple.
+        """
+        kind = type(value)
+        if kind in _LEAF_TYPES or value is None:
+            return value
+        if isinstance(value, Message):
+            return self.describe(value)
+        if isinstance(value, dict):
+            return (
+                "\x00d",
+                *_safe_sorted(
+                    [(self.canonical(k), self.canonical(v)) for k, v in value.items()]
+                ),
+            )
+        if isinstance(value, (set, frozenset)):
+            return ("\x00s", *_safe_sorted([self.canonical(v) for v in value]))
+        if isinstance(value, (list, tuple)):
+            return tuple(self.canonical(v) for v in value)
+        return repr(value)
+
+    def describe(self, message: Message) -> str:
+        """``message.describe()`` memoized per (frozen, hashable) object."""
+        try:
+            cached = self._describe.get(message)
+        except TypeError:  # unhashable payload: skip the cache
+            return message.describe()
+        if cached is None:
+            cached = message.describe()
+            self._describe[message] = cached
+        return cached
+
+    def process_sig(self, process: Process) -> object:
+        # Protocols may expose ``sig_key()``: a pre-hashable structural
+        # signature equivalent to ``snapshot()`` but built without dicts
+        # or repr, skipping canonicalization entirely on the hot path.
+        fast = getattr(process, "sig_key", None)
+        sig = fast() if fast is not None else self.canonical(process.snapshot())
+        return self._intern.setdefault(sig, sig)
 
 
 class _World:
-    """One global state: processes + in-flight messages + timers + crashes."""
+    """One global state: processes + in-flight messages + timers + crashes.
 
-    def __init__(self, processes: List[Process]) -> None:
+    Worlds share process objects copy-on-write: :meth:`fork` copies only
+    the list, and the caller clones exactly the process it is about to
+    activate (:meth:`activate_copy`). A crash child therefore clones
+    nothing at all. Pending entries carry their precomputed signature key
+    ``(sender, receiver, describe)`` so :meth:`signature` only sorts.
+    """
+
+    def __init__(self, processes: List[Process], engine: _SignatureEngine) -> None:
         self.processes = processes
-        self.pending: List[Tuple[ProcessId, ProcessId, Message]] = []
+        self.engine = engine
+        # (sender, receiver, message, key) — key = (sender, receiver, describe)
+        self.pending: List[Tuple[ProcessId, ProcessId, Message, Tuple]] = []
         self.timers: Set[Tuple[ProcessId, str]] = set()
         self.crashed: Set[ProcessId] = set()
         self.decisions: Dict[ProcessId, MaybeValue] = {}
         self.timer_fires_left: Dict[ProcessId, int] = {}
+        # Memoized canonical snapshot per process; ``None`` marks dirty.
+        self.proc_sigs: List[Optional[object]] = [None] * len(processes)
 
     def fork(self) -> "_World":
         twin = _World.__new__(_World)
-        twin.processes = [
-            process.clone() if hasattr(process, "clone") else copy.deepcopy(process)
-            for process in self.processes
-        ]
+        twin.processes = list(self.processes)  # copy-on-write (see above)
+        twin.engine = self.engine
         twin.pending = list(self.pending)  # message tuples are immutable
         twin.timers = set(self.timers)
         twin.crashed = set(self.crashed)
         twin.decisions = dict(self.decisions)
         twin.timer_fires_left = dict(self.timer_fires_left)
+        twin.proc_sigs = list(self.proc_sigs)
         return twin
 
+    def activate_copy(self, pid: ProcessId) -> Process:
+        """Replace *pid*'s (possibly shared) process with a private clone
+        and mark its snapshot dirty; returns the clone, ready to activate."""
+        process = self.processes[pid]
+        clone = (
+            process.clone() if hasattr(process, "clone") else copy.deepcopy(process)
+        )
+        self.processes[pid] = clone
+        self.proc_sigs[pid] = None
+        return clone
+
+    def mark_dirty(self, pid: ProcessId) -> None:
+        self.proc_sigs[pid] = None
+
     def signature(self) -> Tuple:
+        engine = self.engine
+        sigs = self.proc_sigs
+        processes = self.processes
+        for index in range(len(processes)):
+            if sigs[index] is None:
+                sigs[index] = engine.process_sig(processes[index])
+        decisions = self.decisions
+        if decisions:
+            decision_sig = tuple(
+                _safe_sorted(
+                    [(p, engine.canonical(v)) for p, v in decisions.items()]
+                )
+            )
+        else:
+            decision_sig = ()
         return (
-            tuple(_canonical(process.snapshot()) for process in self.processes),
-            tuple(sorted(repr((s, r, m.describe())) for s, r, m in self.pending)),
+            tuple(sigs),
+            tuple(sorted(entry[3] for entry in self.pending)),
             tuple(sorted(self.timers)),
             tuple(sorted(self.crashed)),
-            tuple(sorted((p, repr(v)) for p, v in self.decisions.items())),
+            decision_sig,
             tuple(sorted(self.timer_fires_left.items())),
         )
 
@@ -106,9 +217,12 @@ class _WorldContext(Context):
         return len(self._world.processes)
 
     def send(self, dst: ProcessId, message: Message) -> None:
-        if dst in self._world.crashed:
+        world = self._world
+        if dst in world.crashed:
             return
-        self._world.pending.append((self._pid, dst, message))
+        world.pending.append(
+            (self._pid, dst, message, (self._pid, dst, world.engine.describe(message)))
+        )
 
     def set_timer(self, name: str, delay: float) -> None:
         self._world.timers.add((self._pid, name))
@@ -138,6 +252,7 @@ class ExplorationReport:
     exhaustive: bool
     violation: Optional[str] = None
     counterexample: List[Action] = field(default_factory=list)
+    metrics: Optional[VerificationMetrics] = field(default=None, compare=False)
 
     @property
     def safe(self) -> bool:
@@ -166,13 +281,14 @@ def _apply_prefix_step(world: _World, step: Tuple[str, Tuple]) -> None:
     kind, payload = step
     if kind == "deliver":
         sender, receiver, message_kind = payload
-        for index, (s, r, m) in enumerate(world.pending):
+        for index, (s, r, m, _key) in enumerate(world.pending):
             if (
                 (sender is None or s == sender)
                 and (receiver is None or r == receiver)
                 and (message_kind is None or type(m).__name__ == message_kind)
             ):
                 world.pending.pop(index)
+                world.mark_dirty(r)
                 world.processes[r].on_message(_WorldContext(world, r), s, m)
                 return
         raise SchedulerError(f"prefix step matched no pending message: {step}")
@@ -181,9 +297,313 @@ def _apply_prefix_step(world: _World, step: Tuple[str, Tuple]) -> None:
         if (pid, name) not in world.timers:
             raise SchedulerError(f"prefix step names unarmed timer: {step}")
         world.timers.discard((pid, name))
+        world.mark_dirty(pid)
         world.processes[pid].on_timer(_WorldContext(world, pid), name)
         return
     raise SchedulerError(f"unknown prefix step kind {kind!r}")
+
+
+def _build_root(
+    factory: ProcessFactory,
+    n: int,
+    timer_fires: int,
+    injections: Optional[Sequence[Tuple[ProcessId, Message]]],
+    prefix: Optional[Sequence[Tuple[str, Tuple]]],
+    engine: _SignatureEngine,
+) -> _World:
+    # Root activations mutate in place: the root is not shared with any
+    # other world until the first fork.
+    root = _World([factory(pid, n) for pid in range(n)], engine)
+    root.timer_fires_left = {pid: timer_fires for pid in range(n)}
+    for pid in range(n):
+        root.processes[pid].on_start(_WorldContext(root, pid))
+    for pid, message in injections or []:
+        root.processes[pid].on_message(_WorldContext(root, pid), CLIENT, message)
+    for step in prefix or []:
+        _apply_prefix_step(root, step)
+    return root
+
+
+def _check_safety(
+    world: _World, allowed: Set[MaybeValue]
+) -> Optional[Tuple[str, str]]:
+    """Agreement/Validity on one state; returns (property, detail) or None."""
+    decided_values = {repr(v): v for v in world.decisions.values()}
+    if len(decided_values) > 1:
+        return ("agreement", f"agreement: decisions {sorted(decided_values)}")
+    if allowed:
+        for pid, value in world.decisions.items():
+            if value not in allowed:
+                return ("validity", f"validity: p{pid} decided {value!r}")
+    return None
+
+
+def _expand(world: _World, budget: int, n: int) -> List[Tuple[_World, Action]]:
+    """All successor states of *world*, in deterministic push order.
+
+    Every enabled action branches. A per-process partial-order reduction
+    was evaluated and removed: delivery order *to the same process* is
+    semantically significant here (the recovery quorum freezes the first
+    n-f 1B reports), and future messages to any process can always be
+    generated by others, so cheap persistent sets are unsound — they
+    steer the search away from exactly the reorderings the lower-bound
+    violations live in. Exhaustiveness is paid for with small
+    configurations instead.
+    """
+    children: List[Tuple[_World, Action]] = []
+
+    seen_payloads = set()
+    for index, (sender, receiver, message, key) in enumerate(world.pending):
+        if receiver in world.crashed:
+            continue
+        if key in seen_payloads:  # key = (sender, receiver, describe)
+            continue
+        seen_payloads.add(key)
+        child = world.fork()
+        child.pending.pop(index)
+        child.activate_copy(receiver).on_message(
+            _WorldContext(child, receiver), sender, message
+        )
+        children.append(
+            (child, Action("deliver", f"p{sender}->p{receiver}: {key[2]}"))
+        )
+
+    for pid, name in sorted(world.timers):
+        if pid in world.crashed or world.timer_fires_left.get(pid, 0) <= 0:
+            continue
+        child = world.fork()
+        child.timer_fires_left[pid] -= 1
+        child.timers.discard((pid, name))
+        child.activate_copy(pid).on_timer(_WorldContext(child, pid), name)
+        children.append((child, Action("fire", f"p{pid}: {name}")))
+
+    if len(world.crashed) < budget:
+        for pid in range(n):
+            if pid in world.crashed:
+                continue
+            child = world.fork()
+            child.crashed.add(pid)
+            child.pending = [entry for entry in child.pending if entry[1] != pid]
+            child.timers = {(p, nm) for p, nm in child.timers if p != pid}
+            children.append((child, Action("crash", f"p{pid}")))
+
+    return children
+
+
+def _dfs(
+    stack: List[Tuple[_World, Tuple[Action, ...]]],
+    visited: Set[Tuple],
+    allowed: Set[MaybeValue],
+    budget: int,
+    n: int,
+    ballot_bound: int,
+    max_states: int,
+    recorder: MetricsRecorder,
+) -> ExplorationReport:
+    """The sequential search core; *stack*/*visited* are pre-seeded."""
+    states = 0
+    dedup_checks = 0
+    dedup_hits = 0
+    max_frontier = 0
+    max_depth = 0
+    try:
+        while stack:
+            world, trail = stack.pop()
+            states += 1
+            if len(trail) > max_depth:
+                max_depth = len(trail)
+
+            violation = _check_safety(world, allowed)
+            if violation is not None:
+                return ExplorationReport(
+                    states_visited=states,
+                    exhaustive=False,
+                    violation=violation[1],
+                    counterexample=list(trail),
+                )
+            # The state cap is checked *after* the safety checks: the
+            # state that hits the cap has been popped and must not escape
+            # unchecked (nor be dropped from the count).
+            if states > max_states:
+                return ExplorationReport(states_visited=states, exhaustive=False)
+
+            if any(_ballot_of(p) > ballot_bound for p in world.processes):
+                continue  # ballot pruning
+
+            for child, action in _expand(world, budget, n):
+                child_signature = child.signature()
+                dedup_checks += 1
+                if child_signature in visited:
+                    dedup_hits += 1
+                    continue
+                visited.add(child_signature)
+                stack.append((child, trail + (action,)))
+            if len(stack) > max_frontier:
+                max_frontier = len(stack)
+
+        return ExplorationReport(states_visited=states, exhaustive=True)
+    finally:
+        recorder.units = states
+        recorder.dedup_checks += dedup_checks
+        recorder.dedup_hits += dedup_hits
+        recorder.note_frontier(max_frontier)
+        recorder.note_depth(max_depth)
+
+
+# ----------------------------------------------------------------------
+# Work-sharded exploration: the worker side.
+#
+# Factories are closures in practice, so worker processes cannot receive
+# them through a pickle channel; the spec is parked in a module global
+# immediately before the (fork-context) pool is created and inherited by
+# the forked children. Each worker deterministically rebuilds the root,
+# re-derives the root's children, and explores its round-robin share.
+# ----------------------------------------------------------------------
+
+_SHARD_SPEC: Dict[str, object] = {}
+
+
+def _explore_shard(worker_index: int):
+    spec = _SHARD_SPEC
+    engine = _SignatureEngine()
+    recorder = MetricsRecorder("explore")
+    root = _build_root(
+        spec["factory"],
+        spec["n"],
+        spec["timer_fires"],
+        spec["injections"],
+        spec["prefix"],
+        engine,
+    )
+    root_signature = root.signature()
+    children = _expand(root, spec["budget"], spec["n"])
+    visited: Set[Tuple] = {root_signature}
+    stack: List[Tuple[_World, Tuple[Action, ...]]] = []
+    first_child_index: Optional[int] = None
+    for index, (child, action) in enumerate(children):
+        child_signature = child.signature()
+        if child_signature in visited:
+            continue
+        visited.add(child_signature)
+        if index % spec["workers"] != worker_index:
+            continue
+        if first_child_index is None:
+            first_child_index = index
+        stack.append((child, (action,)))
+    report = _dfs(
+        stack,
+        visited,
+        spec["allowed"],
+        spec["budget"],
+        spec["n"],
+        spec["ballot_bound"],
+        spec["max_states"],
+        recorder,
+    )
+    return (
+        worker_index,
+        first_child_index,
+        report,
+        recorder.units,
+        recorder.dedup_checks,
+        recorder.dedup_hits,
+        recorder.max_frontier,
+        recorder.max_depth,
+        recorder.elapsed(),
+    )
+
+
+def _sharded_explore(
+    factory: ProcessFactory,
+    n: int,
+    allowed: Set[MaybeValue],
+    budget: int,
+    ballot_bound: int,
+    max_states: int,
+    timer_fires: int,
+    injections: Optional[Sequence[Tuple[ProcessId, Message]]],
+    prefix: Optional[Sequence[Tuple[str, Tuple]]],
+    workers: int,
+    recorder: MetricsRecorder,
+) -> Optional[ExplorationReport]:
+    """Run the search across a forked pool; ``None`` = fall back to serial."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    engine = _SignatureEngine()
+    root = _build_root(factory, n, timer_fires, injections, prefix, engine)
+    recorder.units = 1
+    violation = _check_safety(root, allowed)
+    if violation is not None:
+        return ExplorationReport(
+            states_visited=1,
+            exhaustive=False,
+            violation=violation[1],
+            counterexample=[],
+            metrics=recorder.finish(workers=1),
+        )
+    spec = {
+        "factory": factory,
+        "n": n,
+        "timer_fires": timer_fires,
+        "injections": injections,
+        "prefix": prefix,
+        "allowed": allowed,
+        "budget": budget,
+        "ballot_bound": ballot_bound,
+        "max_states": max_states,
+        "workers": workers,
+    }
+    _SHARD_SPEC.clear()
+    _SHARD_SPEC.update(spec)
+    context = multiprocessing.get_context("fork")
+    try:
+        with context.Pool(workers) as pool:
+            results = pool.map(_explore_shard, range(workers))
+    finally:
+        _SHARD_SPEC.clear()
+    results.sort(key=lambda item: item[0])
+
+    total_states = 1  # the root
+    exhaustive = True
+    best: Optional[Tuple[int, ExplorationReport]] = None
+    per_worker: List[WorkerMetrics] = []
+    for (
+        worker_index,
+        first_child_index,
+        report,
+        units,
+        dedup_checks,
+        dedup_hits,
+        max_frontier,
+        max_depth,
+        seconds,
+    ) in results:
+        total_states += report.states_visited
+        exhaustive = exhaustive and report.exhaustive
+        recorder.dedup_checks += dedup_checks
+        recorder.dedup_hits += dedup_hits
+        recorder.max_frontier = max(recorder.max_frontier, max_frontier)
+        recorder.max_depth = max(recorder.max_depth, max_depth)
+        per_worker.append(WorkerMetrics(worker=worker_index, units=units, seconds=seconds))
+        if report.violation is not None and first_child_index is not None:
+            if best is None or first_child_index < best[0]:
+                best = (first_child_index, report)
+    recorder.units = total_states
+    metrics = recorder.finish(workers=workers, per_worker=per_worker)
+    if best is not None:
+        chosen = best[1]
+        return ExplorationReport(
+            states_visited=total_states,
+            exhaustive=False,
+            violation=chosen.violation,
+            counterexample=chosen.counterexample,
+            metrics=metrics,
+        )
+    return ExplorationReport(
+        states_visited=total_states, exhaustive=exhaustive, metrics=metrics
+    )
 
 
 def explore(
@@ -197,16 +617,20 @@ def explore(
     max_crashes: Optional[int] = None,
     timer_fires: int = 2,
     prefix: Optional[Sequence[Tuple[str, Tuple]]] = None,
+    workers: int = 1,
 ) -> ExplorationReport:
     """Exhaustively explore all schedules; see the module docstring.
 
     *proposals* is validity metadata (allowed decision values);
     *injections* are client messages delivered up-front (the object
-    formulation's ``propose`` calls). ``max_crashes`` defaults to ``f``.
-    ``timer_fires`` bounds the *total* timer expirations per schedule —
-    each expiry can open a new ballot, and unbounded ballots mean an
-    unbounded state space; safety violations surface within the first
-    couple (Appendix B needs exactly one).
+    formulation's ``propose`` calls). ``max_crashes`` defaults to ``f``
+    (pass ``0`` explicitly for a crash-free search). ``timer_fires``
+    bounds the *total* timer expirations per schedule — each expiry can
+    open a new ballot, and unbounded ballots mean an unbounded state
+    space; safety violations surface within the first couple (Appendix B
+    needs exactly one). ``workers > 1`` shards the root's branches across
+    a forked pool (``max_states`` then applies per shard; see the module
+    docstring for the accounting caveat).
     """
     allowed = {v for v in (proposals or {}).values() if not is_bottom(v)}
     allowed |= {
@@ -214,111 +638,43 @@ def explore(
         for _, message in (injections or [])
         if hasattr(message, "value")
     }
-    budget = 0 if max_crashes is None else max_crashes
+    budget = f if max_crashes is None else max_crashes
 
-    root = _World([factory(pid, n) for pid in range(n)])
-    root.timer_fires_left = {pid: timer_fires for pid in range(n)}
-    for pid in range(n):
-        root.processes[pid].on_start(_WorldContext(root, pid))
-    for pid, message in injections or []:
-        root.processes[pid].on_message(_WorldContext(root, pid), CLIENT, message)
-    for step in prefix or []:
-        _apply_prefix_step(root, step)
+    recorder = MetricsRecorder("explore")
+    if workers > 1:
+        report = _sharded_explore(
+            factory,
+            n,
+            allowed,
+            budget,
+            ballot_bound,
+            max_states,
+            timer_fires,
+            injections,
+            prefix,
+            workers,
+            recorder,
+        )
+        if report is not None:
+            return report
 
+    engine = _SignatureEngine()
+    root = _build_root(factory, n, timer_fires, injections, prefix, engine)
     visited: Set[Tuple] = {root.signature()}
     # DFS stack: (world, action-trail). Deduplication happens at *push*
     # time (children whose signature was already seen are never stacked),
     # keeping the stack linear in the number of distinct states rather
     # than in the number of edges.
     stack: List[Tuple[_World, Tuple[Action, ...]]] = [(root, ())]
-    states = 0
-
-    while stack:
-        world, trail = stack.pop()
-        states += 1
-        if states > max_states:
-            return ExplorationReport(states_visited=states - 1, exhaustive=False)
-
-        # --- safety checks ---
-        decided_values = {repr(v): v for v in world.decisions.values()}
-        if len(decided_values) > 1:
-            return ExplorationReport(
-                states_visited=states,
-                exhaustive=False,
-                violation=f"agreement: decisions {sorted(decided_values)}",
-                counterexample=list(trail),
-            )
-        if allowed:
-            for pid, value in world.decisions.items():
-                if value not in allowed:
-                    return ExplorationReport(
-                        states_visited=states,
-                        exhaustive=False,
-                        violation=f"validity: p{pid} decided {value!r}",
-                        counterexample=list(trail),
-                    )
-
-        # --- ballot pruning ---
-        if any(_ballot_of(p) > ballot_bound for p in world.processes):
-            continue
-
-        # --- expansion (full, sound) ---
-        # Every enabled action branches. A per-process partial-order
-        # reduction was evaluated and removed: delivery order *to the same
-        # process* is semantically significant here (the recovery quorum
-        # freezes the first n-f 1B reports), and future messages to any
-        # process can always be generated by others, so cheap persistent
-        # sets are unsound — they steer the search away from exactly the
-        # reorderings the lower-bound violations live in. Exhaustiveness
-        # is paid for with small configurations instead.
-        children: List[Tuple[_World, Action]] = []
-
-        seen_payloads = set()
-        for index, (sender, receiver, message) in enumerate(world.pending):
-            if receiver in world.crashed:
-                continue
-            payload = (sender, receiver, message)
-            if payload in seen_payloads:
-                continue
-            seen_payloads.add(payload)
-            child = world.fork()
-            s_, r_, m_ = child.pending.pop(index)
-            child.processes[r_].on_message(_WorldContext(child, r_), s_, m_)
-            children.append(
-                (child, Action("deliver", f"p{s_}->p{r_}: {m_.describe()}"))
-            )
-
-        for pid, name in sorted(world.timers):
-            if pid in world.crashed or world.timer_fires_left.get(pid, 0) <= 0:
-                continue
-            child = world.fork()
-            child.timer_fires_left[pid] -= 1
-            child.timers.discard((pid, name))
-            child.processes[pid].on_timer(_WorldContext(child, pid), name)
-            children.append((child, Action("fire", f"p{pid}: {name}")))
-
-        for child, action in children:
-            child_signature = child.signature()
-            if child_signature in visited:
-                continue
-            visited.add(child_signature)
-            stack.append((child, trail + (action,)))
-
-        # --- expand: crashes ---
-        if len(world.crashed) < budget:
-            for pid in range(n):
-                if pid in world.crashed:
-                    continue
-                child = world.fork()
-                child.crashed.add(pid)
-                child.pending = [
-                    (s_, r_, m_) for s_, r_, m_ in child.pending if r_ != pid
-                ]
-                child.timers = {(p, nm) for p, nm in child.timers if p != pid}
-                child_signature = child.signature()
-                if child_signature in visited:
-                    continue
-                visited.add(child_signature)
-                stack.append((child, trail + (Action("crash", f"p{pid}"),)))
-
-    return ExplorationReport(states_visited=states, exhaustive=True)
+    report = _dfs(
+        stack,
+        visited,
+        allowed,
+        budget,
+        n,
+        ballot_bound,
+        max_states,
+        recorder,
+    )
+    report.metrics = recorder.finish(workers=1)
+    return report

@@ -269,6 +269,24 @@ class Run:
             lines.append(f"... ({len(self.records) - limit} more records)")
         return "\n".join(lines)
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same system size, inputs, and trace.
+
+        Record dataclasses compare by value, so two runs are equal exactly
+        when they describe the same execution — what the fuzzer's
+        worker-count determinism guarantee is stated in terms of. Runs are
+        mutable and therefore unhashable.
+        """
+        if not isinstance(other, Run):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.proposals == other.proposals
+            and self.records == other.records
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
     def __repr__(self) -> str:
         return (
             f"<Run n={self.n} records={len(self.records)} "

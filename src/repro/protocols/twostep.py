@@ -47,6 +47,11 @@ from .selection import PAPER_POLICY, OneBReport, SelectionPolicy, select_value
 BALLOT_TIMER = "twostep:new_ballot"
 
 
+def _value_sig_key(value: MaybeValue) -> tuple:
+    """Sort- and hash-safe key for a proposal value (int, str, BOTTOM, ...)."""
+    return (type(value).__name__, value)
+
+
 # ----------------------------------------------------------------------
 # Messages (Figure 1 vocabulary).
 # ----------------------------------------------------------------------
@@ -421,6 +426,47 @@ class TwoStepProcess(Process):
         }
         twin._sent_twoa = set(self._sent_twoa)
         return twin
+
+    def sig_key(self) -> tuple:
+        """Hashable structural signature for the state-space explorer.
+
+        Semantically equivalent to :meth:`snapshot` but built from the
+        already-hashable field values directly (no ``repr``, no dicts), so
+        the explorer can intern it without recursive canonicalization.
+        Values are keyed as ``(type-name, value)`` so mixed value domains
+        still sort deterministically.
+        """
+        vk = _value_sig_key
+        return (
+            self.bal,
+            self.vbal,
+            vk(self.val),
+            vk(self.initial_val),
+            vk(self.proposer),
+            vk(self.decided),
+            tuple(
+                sorted(
+                    (vk(value), tuple(sorted(voters)))
+                    for value, voters in self._fast_votes.items()
+                )
+            ),
+            tuple(
+                sorted(
+                    (ballot, vk(value), tuple(sorted(voters)))
+                    for (ballot, value), voters in self._slow_votes.items()
+                )
+            ),
+            # 1B reports keep their arrival order — the coordinator freezes
+            # the first n-f as its quorum, so order is semantic. OneBReport
+            # is a frozen dataclass, hence hashable as-is.
+            tuple(
+                sorted(
+                    (ballot, tuple(reports.items()))
+                    for ballot, reports in self._oneb_reports.items()
+                )
+            ),
+            tuple(sorted(self._sent_twoa)),
+        )
 
     def snapshot(self) -> dict:
         """Canonical protocol state (used by traces and the explorer).

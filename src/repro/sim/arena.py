@@ -194,6 +194,16 @@ class Arena:
             matches.append(pm)
         return matches
 
+    def pending_list(self) -> List[PendingMessage]:
+        """Unfiltered pool snapshot in uid (send) order, without sorting.
+
+        Uids are handed out by a single monotone counter and entries are
+        inserted in uid order, so dict insertion order *is* uid order —
+        this returns exactly what ``pending_messages()`` would, minus the
+        per-call sort. Hot-path accessor for the fuzzer.
+        """
+        return list(self.pending.values())
+
     def deliver(self, pending: PendingMessage) -> None:
         """Deliver one pending message; runs the receiver's handler."""
         if pending.uid not in self.pending:
@@ -278,6 +288,25 @@ class Arena:
             if pid is None or owner == pid
         ]
         return sorted(entries, key=lambda item: (item[2], item[0], item[1]))
+
+    def armed_timers(self) -> List[Tuple[ProcessId, str]]:
+        """Armed timer keys ``(pid, name)`` in arming order, without the
+        deadline sort.
+
+        Deterministic (dict insertion order) but *not* soonest-first; use
+        :meth:`timers` when deadline order matters. Crashed processes never
+        appear (``crash`` disarms their timers). Hot-path accessor for the
+        fuzzer, which picks timers at random anyway.
+        """
+        return list(self._timers)
+
+    def has_armed_timers(self) -> bool:
+        """O(1) check whether any timer is armed."""
+        return bool(self._timers)
+
+    def timer_armed(self, pid: ProcessId, name: str) -> bool:
+        """O(1) check whether a specific timer is currently armed."""
+        return (pid, name) in self._timers
 
     def fire_timer(self, pid: ProcessId, name: str, advance_clock: bool = True) -> None:
         """Fire an armed timer (the adversary controls time, so any armed

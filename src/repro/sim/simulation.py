@@ -189,7 +189,14 @@ class Simulation:
         every handled event). ``max_events`` guards against protocols that
         generate work forever (heartbeat-based Ω does): exceeding it raises
         :class:`SchedulerError` so tests fail loudly instead of hanging.
+
+        The clock only fast-forwards to *until* when the loop actually ran
+        out of work before then (queue exhausted or next event beyond
+        *until*). A ``stop``-condition exit leaves ``self.time`` at the
+        last handled event, so a later ``inject()`` is stamped relative to
+        the stop point rather than silently pushed to *until*.
         """
+        stopped = False
         while self._queue:
             next_time = self._queue.peek_time()
             if until is not None and next_time is not None and next_time > until:
@@ -204,8 +211,9 @@ class Simulation:
                     "use `until` for protocols with perpetual timers"
                 )
             if stop is not None and stop(self.run_record):
+                stopped = True
                 break
-        if until is not None:
+        if until is not None and not stopped:
             self.time = max(self.time, until)
         return self.run_record
 

@@ -1,0 +1,26 @@
+"""Instrumentation for the verification engine.
+
+The exhaustive explorer (:mod:`repro.checks.explore`) and the adversarial
+fuzzer (:mod:`repro.bounds.search`) are the hot paths behind every safety
+claim this library makes. This package gives them a shared, lightweight
+observability layer: each campaign reports a
+:class:`~repro.verify.metrics.VerificationMetrics` describing its
+throughput (states or schedules per second), deduplication effectiveness,
+frontier shape, per-worker breakdown, and peak memory — so a performance
+regression in the verification engine shows up in benchmark trajectories
+instead of silently doubling CI time.
+"""
+
+from .metrics import (
+    MetricsRecorder,
+    VerificationMetrics,
+    WorkerMetrics,
+    peak_rss_kb,
+)
+
+__all__ = [
+    "MetricsRecorder",
+    "VerificationMetrics",
+    "WorkerMetrics",
+    "peak_rss_kb",
+]

@@ -44,7 +44,7 @@ class TestReport:
         assert main(["report", "--quick", "-o", str(target)]) == 0
         text = target.read_text()
         assert text.startswith("# Reproduction report")
-        assert text.count("**Verdict:**") == 10
+        assert text.count("**Verdict:**") == 11
         assert "AGREEMENT VIOLATION (as the theorem predicts)" in text
         assert "SATISFIED" in text
 

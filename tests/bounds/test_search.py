@@ -111,3 +111,121 @@ class TestResultAggregate:
         assert result.schedules_run == 10
         assert result.violating_seeds == []
         assert result.first_violation is None
+
+
+@pytest.fixture
+def _task5():
+    proposals = {i: i for i in range(5)}
+    return proposals, lambda seed: _task_factory(5, 2, 1, proposals)
+
+
+class TestProposalsIntegrity:
+    """Injections must never corrupt the validity checker's allowed set."""
+
+    def test_injections_do_not_clobber_explicit_proposals(self):
+        from dataclasses import dataclass
+
+        from repro.core import Message
+
+        @dataclass(frozen=True)
+        class NoValue(Message):
+            pass
+
+        proposals = {0: 5}
+        factory = twostep_object_factory(
+            1, 1, omega_factory=static_omega_factory(0)
+        )
+        run = random_adversarial_run(
+            factory,
+            3,
+            1,
+            seed=3,
+            proposals=proposals,
+            injections={0: ProposeRequest(7), 1: NoValue(), 2: ProposeRequest(8)},
+            steps=0,  # the recording happens before the schedule runs
+        )
+        # Explicitly passed proposals win; injected values fill the gaps;
+        # value-less messages record nothing (never `None`).
+        assert run.proposals[0] == 5
+        assert run.proposals[2] == 8
+        assert 1 not in run.proposals
+        assert None not in run.proposals.values()
+
+    def test_object_injection_values_recorded(self):
+        factory = twostep_object_factory(
+            2, 2, omega_factory=static_omega_factory(0)
+        )
+        run = random_adversarial_run(
+            factory,
+            5,
+            2,
+            seed=11,
+            injections={i: ProposeRequest(10 + i) for i in range(3)},
+        )
+        for pid in range(3):
+            assert run.proposals[pid] == 10 + pid
+
+
+class TestWorkerDeterminism:
+    """workers=k must be bit-identical to the serial campaign."""
+
+    def test_workers_identical_at_bound(self, _task5):
+        proposals, ffs = _task5
+        serial = fuzz_safety(ffs, 5, 2, range(40), proposals=proposals)
+        sharded = fuzz_safety(
+            ffs, 5, 2, range(40), proposals=proposals, workers=4
+        )
+        assert serial == sharded
+        assert sharded.metrics.workers == 4
+        assert len(sharded.metrics.per_worker) == 4
+        assert sum(w.units for w in sharded.metrics.per_worker) == 40
+
+    def test_workers_identical_with_violations(self):
+        """Merged results preserve seed ordering and the first violating
+        run even when every schedule violates (broken toy protocol)."""
+        from repro.core import Context, Process
+
+        class DecideOwnPid(Process):
+            def on_start(self, ctx: Context) -> None:
+                ctx.decide(self.pid)
+
+            def on_message(self, ctx, sender, message) -> None:
+                pass
+
+        def ffs(seed):
+            return lambda pid, n: DecideOwnPid(pid, n)
+
+        proposals = {0: 0, 1: 1, 2: 2}
+        serial = fuzz_safety(ffs, 3, 1, range(12), proposals=proposals)
+        sharded = fuzz_safety(
+            ffs, 3, 1, range(12), proposals=proposals, workers=4
+        )
+        assert serial.found_violation
+        assert serial.violating_seeds == list(range(12))
+        assert serial == sharded  # includes first_violation + run equality
+
+    def test_more_workers_than_seeds(self, _task5):
+        proposals, ffs = _task5
+        serial = fuzz_safety(ffs, 5, 2, range(3), proposals=proposals)
+        sharded = fuzz_safety(
+            ffs, 5, 2, range(3), proposals=proposals, workers=8
+        )
+        assert serial == sharded
+
+
+class TestFuzzMetrics:
+    def test_metrics_attached(self, _task5):
+        proposals, ffs = _task5
+        result = fuzz_safety(ffs, 5, 2, range(10), proposals=proposals)
+        metrics = result.metrics
+        assert metrics is not None and metrics.kind == "fuzz"
+        assert metrics.units == 10
+        assert metrics.units_per_sec > 0
+        assert "10 schedules" in metrics.describe()
+
+    def test_metrics_excluded_from_equality(self, _task5):
+        proposals, ffs = _task5
+        a = fuzz_safety(ffs, 5, 2, range(5), proposals=proposals)
+        b = fuzz_safety(ffs, 5, 2, range(5), proposals=proposals)
+        assert a.metrics is not b.metrics
+        assert a == b

@@ -304,3 +304,121 @@ class TestCrashActions:
         assert report.safe and report.exhaustive, report.describe()
         # Crashes enlarge the space relative to the crash-free run (1412).
         assert report.states_visited > 1412
+
+
+class TestCrashBudgetDefault:
+    """`max_crashes` defaults to `f`, as the docstring always promised.
+
+    Before the fix the default was silently 0, so "exhaustive" safety
+    reports never explored a single crash schedule unless callers opted
+    in explicitly.
+    """
+
+    def test_default_equals_explicit_f(self):
+        proposals = {0: 1, 1: 0, 2: 0}
+        factory = twostep_task_factory(
+            proposals, 1, 1, omega_factory=static_omega_factory(0)
+        )
+        default = explore(factory, 3, 1, proposals=proposals, timer_fires=0)
+        explicit = explore(
+            factory, 3, 1, proposals=proposals, timer_fires=0, max_crashes=1
+        )
+        crash_free = explore(
+            factory, 3, 1, proposals=proposals, timer_fires=0, max_crashes=0
+        )
+        assert default.states_visited == explicit.states_visited
+        assert default.states_visited > crash_free.states_visited
+        assert default.safe and default.exhaustive
+
+    def test_default_explores_crash_schedules(self):
+        """Crash branching is on by default: the DFS pushes crash children
+        last and pops them first, so the first counterexample found for a
+        broken protocol lies on a schedule that includes a crash action —
+        impossible before the fix, when the default budget was 0."""
+        report = explore(
+            lambda pid, n: DecideForeign(pid, n),
+            3,
+            1,
+            proposals={0: "a", 1: "a", 2: "a"},
+        )
+        assert not report.safe
+        assert any(action.kind == "crash" for action in report.counterexample)
+
+
+class TestMaxStatesPoppedCheck:
+    def test_state_hitting_the_cap_is_still_checked(self):
+        """The popped state that exhausts `max_states` gets safety-checked
+        before the cap is enforced; the old loop returned 'safe, bounded'
+        with the violating state already in hand."""
+        proposals = {0: "a", 1: "b", 2: "b"}
+        report = explore(
+            lambda pid, n: DecideOwn(pid, n, proposals[pid]),
+            3,
+            1,
+            proposals=proposals,
+            max_states=1,
+        )
+        assert not report.safe
+        assert "agreement" in report.violation
+
+
+class TestSignatureEngine:
+    def test_sig_key_fast_path_matches_snapshot_canonicalization(self, monkeypatch):
+        """TwoStepProcess.sig_key() must induce exactly the same state
+        partition as the generic canonical(snapshot()) path: equal visited
+        counts on an exhaustive run, with and without the fast path."""
+        from repro.protocols.twostep import TwoStepProcess
+
+        proposals = {0: 1, 1: 0, 2: 0}
+        factory = twostep_task_factory(
+            proposals, 1, 1, omega_factory=static_omega_factory(0)
+        )
+        fast = explore(factory, 3, 1, proposals=proposals, timer_fires=0)
+        monkeypatch.delattr(TwoStepProcess, "sig_key")
+        slow = explore(factory, 3, 1, proposals=proposals, timer_fires=0)
+        assert fast.states_visited == slow.states_visited
+        assert fast.exhaustive and slow.exhaustive
+
+    def test_metrics_attached(self):
+        proposals = {0: 1, 1: 0, 2: 0}
+        factory = twostep_task_factory(
+            proposals, 1, 1, omega_factory=static_omega_factory(0)
+        )
+        report = explore(factory, 3, 1, proposals=proposals, timer_fires=0)
+        metrics = report.metrics
+        assert metrics is not None and metrics.kind == "explore"
+        assert metrics.units == report.states_visited
+        assert metrics.units_per_sec > 0
+        assert 0.0 < metrics.dedup_hit_rate < 1.0
+        assert metrics.max_depth > 0 and metrics.max_frontier > 0
+
+
+class TestShardedExploration:
+    def test_workers_two_same_verdict_with_per_worker_metrics(self):
+        proposals = {0: 1, 1: 0, 2: 0}
+        factory = twostep_task_factory(
+            proposals, 1, 1, omega_factory=static_omega_factory(0)
+        )
+        serial = explore(factory, 3, 1, proposals=proposals, timer_fires=0)
+        sharded = explore(
+            factory, 3, 1, proposals=proposals, timer_fires=0, workers=2
+        )
+        assert sharded.safe and sharded.exhaustive
+        assert serial.safe and serial.exhaustive
+        assert sharded.metrics.workers == 2
+        assert len(sharded.metrics.per_worker) == 2
+
+    def test_workers_find_the_same_violation(self):
+        proposals = {0: "a", 1: "a", 2: "a"}
+        serial = explore(
+            lambda pid, n: DecideForeign(pid, n), 3, 1, proposals=proposals
+        )
+        sharded = explore(
+            lambda pid, n: DecideForeign(pid, n),
+            3,
+            1,
+            proposals=proposals,
+            workers=2,
+        )
+        assert not serial.safe and not sharded.safe
+        assert "validity" in sharded.violation

@@ -191,3 +191,36 @@ class TestInjection:
         sim.inject(0.0, 1, Ping(3))
         run = sim.run_until_all_decide()
         assert set(run.decisions) == {0, 1}
+
+
+class TestStopConditionClock:
+    """`run(stop=...)` must not fast-forward the clock to `until`.
+
+    Before the fix an early `stop` exit still jumped `self.time` to
+    `until`, so anything injected afterwards was stamped relative to the
+    horizon instead of the stop point.
+    """
+
+    def _sim(self):
+        return Simulation(lambda pid, n: Echo(pid, n), n=3, latency=FixedLatency(1.0))
+
+    def test_stop_exit_keeps_event_time(self):
+        sim = self._sim()
+        run = sim.run(until=100.0, stop=lambda r: bool(r.decisions))
+        assert run.decisions, "Echo should decide within the horizon"
+        first_decision = min(rec.time for rec in run.decisions.values())
+        assert sim.time == pytest.approx(first_decision)
+        assert sim.time < 100.0
+
+    def test_injection_after_stop_is_stamped_at_stop_point(self):
+        sim = self._sim()
+        sim.run(until=100.0, stop=lambda r: bool(r.decisions))
+        stop_time = sim.time
+        # Before the fix this raised / mis-stamped: the clock sat at 100.
+        sim.inject(stop_time + 1.0, 0, Ping(0))
+        assert sim.time == pytest.approx(stop_time)
+
+    def test_exhausted_queue_still_fast_forwards(self):
+        sim = self._sim()
+        sim.run(until=100.0)  # no stop condition: horizon semantics intact
+        assert sim.time == pytest.approx(100.0)

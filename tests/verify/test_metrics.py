@@ -1,0 +1,113 @@
+"""Tests for the verification-campaign metrics layer."""
+
+import time
+
+from repro.verify import (
+    MetricsRecorder,
+    VerificationMetrics,
+    WorkerMetrics,
+    peak_rss_kb,
+)
+
+
+class TestVerificationMetrics:
+    def test_units_per_sec(self):
+        metrics = VerificationMetrics(kind="fuzz", units=150, wall_seconds=0.5)
+        assert metrics.units_per_sec == 300.0
+
+    def test_units_per_sec_zero_wall(self):
+        metrics = VerificationMetrics(kind="fuzz", units=150, wall_seconds=0.0)
+        assert metrics.units_per_sec == 0.0
+
+    def test_dedup_hit_rate(self):
+        metrics = VerificationMetrics(
+            kind="explore",
+            units=10,
+            wall_seconds=1.0,
+            dedup_checks=200,
+            dedup_hits=50,
+        )
+        assert metrics.dedup_hit_rate == 0.25
+
+    def test_dedup_hit_rate_no_checks(self):
+        metrics = VerificationMetrics(kind="fuzz", units=10, wall_seconds=1.0)
+        assert metrics.dedup_hit_rate == 0.0
+
+    def test_describe_explorer(self):
+        metrics = VerificationMetrics(
+            kind="explore",
+            units=1412,
+            wall_seconds=0.1,
+            dedup_checks=4000,
+            dedup_hits=1000,
+            max_frontier=37,
+            max_depth=12,
+        )
+        text = metrics.describe()
+        assert "1412 states" in text
+        assert "dedup hit-rate 25.0%" in text
+        assert "frontier peak 37" in text
+        assert "depth 12" in text
+
+    def test_describe_sharded_fuzzer(self):
+        metrics = VerificationMetrics(
+            kind="fuzz",
+            units=100,
+            wall_seconds=1.0,
+            workers=2,
+            per_worker=[
+                WorkerMetrics(worker=0, units=50, seconds=0.5),
+                WorkerMetrics(worker=1, units=50, seconds=0.25),
+            ],
+        )
+        text = metrics.describe()
+        assert "100 schedules" in text
+        assert "2 workers" in text
+        assert "w0: 100/s" in text
+        assert "w1: 200/s" in text
+
+
+class TestWorkerMetrics:
+    def test_units_per_sec(self):
+        share = WorkerMetrics(worker=3, units=40, seconds=2.0)
+        assert share.units_per_sec == 20.0
+        assert WorkerMetrics(worker=0, units=5, seconds=0.0).units_per_sec == 0.0
+
+
+class TestPeakRss:
+    def test_nonnegative(self):
+        # On this (POSIX) platform the counter is live and in KiB.
+        assert peak_rss_kb() >= 0
+
+
+class TestMetricsRecorder:
+    def test_finish_carries_counters(self):
+        recorder = MetricsRecorder("explore")
+        recorder.units = 7
+        recorder.dedup_checks = 20
+        recorder.dedup_hits = 5
+        recorder.note_frontier(3)
+        recorder.note_frontier(9)
+        recorder.note_frontier(4)  # not a new high-water mark
+        recorder.note_depth(6)
+        time.sleep(0.01)
+        metrics = recorder.finish()
+        assert metrics.kind == "explore"
+        assert metrics.units == 7
+        assert metrics.dedup_checks == 20 and metrics.dedup_hits == 5
+        assert metrics.max_frontier == 9
+        assert metrics.max_depth == 6
+        assert metrics.wall_seconds > 0
+        assert metrics.workers == 1 and metrics.per_worker == []
+
+    def test_finish_with_worker_shares(self):
+        recorder = MetricsRecorder("fuzz")
+        recorder.units = 12
+        shares = [
+            WorkerMetrics(worker=0, units=6, seconds=0.1),
+            WorkerMetrics(worker=1, units=6, seconds=0.2),
+        ]
+        metrics = recorder.finish(workers=2, per_worker=shares, wall_seconds=0.25)
+        assert metrics.workers == 2
+        assert metrics.per_worker == shares
+        assert metrics.wall_seconds == 0.25
