@@ -1,0 +1,96 @@
+"""Live cluster throughput/latency next to the simulated E10 numbers.
+
+Boots a real :class:`~repro.net.cluster.LocalCluster` (asyncio TCP,
+unchanged Figure 1 machines), drives the same seeded
+``put_get_workload`` the E10 simulation replays, and records live
+throughput and commit-latency percentiles alongside the simulated
+(LAN-latency-model) commit figures, making the "simulated time units vs
+real milliseconds" gap explicit in one table.
+"""
+
+import asyncio
+
+from repro.analysis import render_records
+from repro.net.cluster import LocalCluster
+from repro.net.loadgen import run_loadgen
+from repro.omega import static_omega_factory
+from repro.protocols.twostep import TwoStepConfig
+from repro.smr.client import put_get_workload, run_kv_workload
+from repro.smr.log import smr_factory
+
+from conftest import emit
+
+N = 3
+COMMANDS = 100
+SEED = 0
+DELTA_LIVE = 0.05  # seconds; collision recovery is timer-driven
+
+
+def _factory(delta):
+    return smr_factory(
+        1,
+        1,
+        delta=delta,
+        omega_factory=static_omega_factory(0),
+        consensus_config=TwoStepConfig(f=1, e=1, delta=delta, is_object=True),
+    )
+
+
+def _live_row():
+    ops = put_get_workload(
+        COMMANDS, keys=("alpha", "beta", "gamma"), proxies=list(range(N)), seed=SEED
+    )
+
+    async def run():
+        async with LocalCluster(
+            N, _factory(DELTA_LIVE), serve_clients=True
+        ) as cluster:
+            report = await run_loadgen(
+                cluster.addresses, clients=4, ops=ops, codec=cluster.codec
+            )
+            await cluster.wait_logs_converged(timeout=30.0, expected_commands=COMMANDS)
+            return report
+
+    report = asyncio.run(asyncio.wait_for(run(), 120.0))
+    assert report.failed == 0
+    row = {"stack": "live asyncio TCP (3 nodes, 4 clients)"}
+    row.update(report.to_record())
+    return row
+
+
+def _simulated_row():
+    ops = put_get_workload(
+        COMMANDS, keys=("alpha", "beta", "gamma"), proxies=list(range(N)), seed=SEED
+    )
+    outcome = run_kv_workload(
+        _factory(1.0), n=N, ops=ops, until=len(ops) * 3.0 + 60.0
+    )
+    assert not outcome.unfinished
+    latencies = sorted(outcome.commit_latency.values())
+    mean = sum(latencies) / len(latencies)
+    return {
+        "stack": "simulated (FixedLatency 1.0 units)",
+        "commands": COMMANDS,
+        "completed": len(outcome.commit_latency),
+        "failed": len(outcome.unfinished),
+        "commit_mean_units": round(mean, 2),
+        "commit_max_units": round(latencies[-1], 2),
+    }
+
+
+def bench_net_live_vs_simulated(once):
+    live = once(_live_row)
+    simulated = _simulated_row()
+    emit(
+        "net_live_vs_simulated",
+        render_records(
+            [live], title="NET — live cluster (real seconds/ms)"
+        )
+        + "\n\n"
+        + render_records(
+            [simulated], title="NET — same workload, simulated (time units)"
+        ),
+    )
+    assert live["completed"] == COMMANDS
+    assert simulated["completed"] == COMMANDS
+    assert live["throughput_per_sec"] > 0

@@ -7,16 +7,21 @@ Usage::
     python -m repro witness task 2 2     # Appendix B.1 below Theorem 5
     python -m repro witness object 3 3   # Appendix B.2 below Theorem 6
     python -m repro experiment e5        # any of e1..e10
+    python -m repro experiment e5 --json # machine-readable records
     python -m repro fuzz --workers 4     # adversarial schedule fuzzing
     python -m repro explore --workers 2  # exhaustive safety exploration
+    python -m repro cluster --n 3        # boot a live KV cluster (asyncio TCP)
+    python -m repro loadgen --peers ...  # drive a live cluster, report latency
     python -m repro all                  # everything (a few minutes)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .analysis import (
     e1_bounds_rows,
@@ -35,27 +40,67 @@ from .analysis import (
 )
 from .bounds import object_lower_bound_witness, task_lower_bound_witness
 
-_EXPERIMENTS: Dict[str, Callable[[], str]] = {
-    "e1": lambda: render_records(e1_bounds_rows(5), title="E1 — bounds"),
-    "e2": lambda: render_records(e2_feasibility_rows(), title="E2 — feasibility")
-    + "\n"
-    + render_records(e2_fuzz_rows(), title="E2 — fuzzing arm (at the bound)"),
-    "e3": lambda: render_records(
-        e3_two_step_coverage_rows(), title="E3 — two-step coverage", float_digits=2
+
+@dataclass(frozen=True)
+class _ExperimentSpec:
+    """One experiment: named row-producing tables plus an optional note.
+
+    Both output modes — the human tables and ``--json`` — are generated
+    from the same spec, so they can never drift apart.
+    """
+
+    tables: Tuple[Tuple[str, Callable[[], List[dict]], int], ...]  # (title, rows, digits)
+    note: Optional[Callable[[], str]] = None
+
+    def render(self) -> str:
+        parts = [
+            render_records(rows_fn(), title=title, float_digits=digits)
+            for title, rows_fn, digits in self.tables
+        ]
+        text = "\n".join(parts)
+        if self.note is not None:
+            text += f"\n{self.note()}"
+        return text
+
+    def records(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "tables": {title: rows_fn() for title, rows_fn, _ in self.tables}
+        }
+        if self.note is not None:
+            payload["note"] = self.note()
+        return payload
+
+
+_SPECS: Dict[str, _ExperimentSpec] = {
+    "e1": _ExperimentSpec(((("E1 — bounds"), lambda: e1_bounds_rows(5), 1),)),
+    "e2": _ExperimentSpec(
+        (
+            ("E2 — feasibility", e2_feasibility_rows, 1),
+            ("E2 — fuzzing arm (at the bound)", e2_fuzz_rows, 1),
+        )
     ),
-    "e4": lambda: render_records(
-        e4_latency_vs_conflict_rows(), title="E4 — latency vs conflict", float_digits=2
+    "e3": _ExperimentSpec((("E3 — two-step coverage", e3_two_step_coverage_rows, 2),)),
+    "e4": _ExperimentSpec(
+        (("E4 — latency vs conflict", e4_latency_vs_conflict_rows, 2),)
     ),
-    "e5": lambda: render_records(e5_wan_rows(), title="E5 — WAN latency (ms)"),
-    "e6": lambda: render_records(e6_recovery_rows(), title="E6 — recovery"),
-    "e7": lambda: render_records(e7_message_rows(), title="E7 — messages"),
-    "e8": lambda: render_records(
-        e8_epaxos_rows(), title="E8 — EPaxos", float_digits=2
+    "e5": _ExperimentSpec((("E5 — WAN latency (ms)", e5_wan_rows, 1),)),
+    "e6": _ExperimentSpec((("E6 — recovery", e6_recovery_rows, 1),)),
+    "e7": _ExperimentSpec((("E7 — messages", e7_message_rows, 1),)),
+    "e8": _ExperimentSpec((("E8 — EPaxos", e8_epaxos_rows, 2),)),
+    "e9": _ExperimentSpec(
+        (("E9 — ablations", e9_ablation_rows, 1),),
+        note=lambda: f"liveness demo: {e9_liveness_completion_demo()}",
     ),
-    "e9": lambda: render_records(e9_ablation_rows(), title="E9 — ablations")
-    + f"\nliveness demo: {e9_liveness_completion_demo()}",
-    "e10": lambda: render_records(e10_smr_rows(), title="E10 — SMR on WAN (ms)"),
+    "e10": _ExperimentSpec((("E10 — SMR on WAN (ms)", e10_smr_rows, 1),)),
 }
+
+_EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    key: spec.render for key, spec in _SPECS.items()
+}
+
+
+def _emit_json(payload: object) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -64,17 +109,23 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bounds(_: argparse.Namespace) -> int:
-    print(_EXPERIMENTS["e1"]())
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        _emit_json({"experiment": "e1", **_SPECS["e1"].records()})
+    else:
+        print(_EXPERIMENTS["e1"]())
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     key = args.name.lower()
-    if key not in _EXPERIMENTS:
-        print(f"unknown experiment {args.name!r}; try: {', '.join(sorted(_EXPERIMENTS))}")
+    if key not in _SPECS:
+        print(f"unknown experiment {args.name!r}; try: {', '.join(sorted(_SPECS))}")
         return 2
-    print(_EXPERIMENTS[key]())
+    if args.json:
+        _emit_json({"experiment": key, **_SPECS[key].records()})
+    else:
+        print(_EXPERIMENTS[key]())
     return 0
 
 
@@ -197,6 +248,107 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _smr_net_factory(f: int, e: int, delta: float):
+    """SMR factory for live clusters: Figure 1 object variant, Ω = 0."""
+    from .omega import static_omega_factory
+    from .protocols.twostep import TwoStepConfig
+    from .smr.log import smr_factory
+
+    return smr_factory(
+        f,
+        e,
+        delta=delta,
+        omega_factory=static_omega_factory(0),
+        consensus_config=TwoStepConfig(f=f, e=e, delta=delta, is_object=True),
+    )
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net import run_cluster, start_node
+    from .net.client import parse_address_list
+    from .net.node import KVService
+
+    factory = _smr_net_factory(args.f, args.e, args.delta)
+
+    if args.node is not None:
+        # One real node of a multi-process deployment.
+        if not args.peers:
+            print("--node requires --peers host:port,... for the full address book")
+            return 2
+        addresses = parse_address_list(args.peers)
+
+        async def run_one() -> None:
+            node = start_node(
+                args.node, addresses, factory, client_service=KVService()
+            )
+            await node.bind()
+            print(f"node {args.node} serving on {node.host}:{node.port}")
+            await node.launch(addresses)
+            try:
+                if args.duration is not None:
+                    await asyncio.sleep(args.duration)
+                else:
+                    while True:
+                        await asyncio.sleep(3600)
+            finally:
+                await node.stop()
+
+        try:
+            asyncio.run(run_one())
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    # In-process LocalCluster deployment (all nodes, one event loop).
+    def announce(cluster) -> None:
+        peers = ",".join(f"{host}:{port}" for host, port in cluster.addresses)
+        print(f"cluster up: n={args.n} f={args.f} e={args.e}")
+        print(f"peers: {peers}")
+        print(f"drive it with: python -m repro loadgen --peers {peers}")
+        sys.stdout.flush()
+
+    try:
+        asyncio.run(
+            run_cluster(
+                args.n,
+                factory,
+                duration=args.duration,
+                base_port=args.base_port,
+                on_ready=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net.client import parse_address_list
+    from .net.loadgen import run_loadgen
+
+    addresses = parse_address_list(args.peers)
+    report = asyncio.run(
+        run_loadgen(
+            addresses,
+            clients=args.clients,
+            count=args.count,
+            put_fraction=args.put_fraction,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    )
+    if args.json:
+        _emit_json({"loadgen": report.to_record(), "errors": report.errors[:10]})
+    else:
+        print(report.describe())
+        print(f"metrics: {report.metrics.describe()}")
+    return 0 if report.failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -204,9 +356,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments").set_defaults(fn=_cmd_list)
-    sub.add_parser("bounds", help="print the E1 bounds table").set_defaults(fn=_cmd_bounds)
+    bounds = sub.add_parser("bounds", help="print the E1 bounds table")
+    bounds.add_argument(
+        "--json", action="store_true", help="emit machine-readable records"
+    )
+    bounds.set_defaults(fn=_cmd_bounds)
     exp = sub.add_parser("experiment", help="run one experiment (e1..e10)")
     exp.add_argument("name")
+    exp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable records instead of tables",
+    )
     exp.set_defaults(fn=_cmd_experiment)
     wit = sub.add_parser("witness", help="execute an Appendix B lower-bound witness")
     wit.add_argument("kind", choices=["task", "object"])
@@ -260,6 +421,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="fork-pool shards for the verification-engine section",
     )
     rep.set_defaults(fn=_cmd_report)
+    cluster = sub.add_parser(
+        "cluster", help="boot a live KV cluster over asyncio TCP"
+    )
+    cluster.add_argument("--n", type=int, default=3, help="replicas (default 3)")
+    cluster.add_argument("--f", type=int, default=1, help="crash budget (default 1)")
+    cluster.add_argument(
+        "--e", type=int, default=1, help="fast-decision budget (default 1)"
+    )
+    cluster.add_argument(
+        "--delta", type=float, default=0.1, help="Δ in real seconds (default 0.1)"
+    )
+    cluster.add_argument(
+        "--base-port",
+        type=int,
+        default=9400,
+        help="first port; node i listens on base+i (0 = ephemeral)",
+    )
+    cluster.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit (default: until Ctrl-C)",
+    )
+    cluster.add_argument(
+        "--node",
+        type=int,
+        default=None,
+        help="run only this pid of a multi-process deployment (needs --peers)",
+    )
+    cluster.add_argument(
+        "--peers",
+        default=None,
+        help="host:port,... address book for --node mode",
+    )
+    cluster.set_defaults(fn=_cmd_cluster)
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a live cluster and report commit latency"
+    )
+    loadgen.add_argument(
+        "--peers", required=True, help="host:port,... of the cluster's nodes"
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=4, help="concurrent closed-loop clients"
+    )
+    loadgen.add_argument("--count", type=int, default=100, help="total commands")
+    loadgen.add_argument(
+        "--put-fraction", type=float, default=0.7, help="fraction of puts"
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadgen.add_argument(
+        "--timeout", type=float, default=5.0, help="per-attempt reply timeout"
+    )
+    loadgen.add_argument(
+        "--json", action="store_true", help="emit machine-readable records"
+    )
+    loadgen.set_defaults(fn=_cmd_loadgen)
     return parser
 
 

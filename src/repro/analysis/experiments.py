@@ -930,6 +930,7 @@ def e10_smr_rows(
     outcome = run_kv_workload(
         factory, n, ops, until=(commands + 30) * 6 * delta, latency=latency
     )
+    unfinished = set(outcome.unfinished)
     rows = []
     for pid in range(n):
         latencies = [
@@ -943,6 +944,11 @@ def e10_smr_rows(
                 "proxy": pid,
                 "site": deployment.site_of(pid) if deployment else "lan",
                 "commands": len(latencies),
+                "unfinished": sum(
+                    1
+                    for op in ops
+                    if op.proxy == pid and op.command.command_id in unfinished
+                ),
                 "commit_mean": summary.mean if summary else None,
                 "commit_max": summary.maximum if summary else None,
             }
@@ -952,6 +958,7 @@ def e10_smr_rows(
             "proxy": "ALL",
             "site": "-",
             "commands": len(outcome.commit_latency),
+            "unfinished": len(unfinished),
             "commit_mean": summarize(list(outcome.commit_latency.values())).mean
             if outcome.commit_latency
             else None,

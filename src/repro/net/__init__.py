@@ -1,0 +1,61 @@
+"""Live cluster runtime: Figure 1's state machines over asyncio TCP.
+
+Everything the simulator runs, this package runs over real sockets with
+the code of the protocols unchanged:
+
+* :mod:`~repro.net.codec` — length-prefixed, versioned wire format over
+  the repository's whole message vocabulary;
+* :mod:`~repro.net.wire` — the handshake and client-protocol frames the
+  runtime adds on top;
+* :mod:`~repro.net.node` — one process per :class:`NodeServer`, with the
+  :class:`~repro.core.process.Context` adapted onto transports and
+  ``loop.call_later`` timers (simulator-identical semantics);
+* :mod:`~repro.net.client` — KV client with timeouts, retry/backoff, and
+  proxy failover;
+* :mod:`~repro.net.loadgen` — closed-loop load generator replaying the
+  simulator's seeded workloads for like-for-like latency tables;
+* :mod:`~repro.net.cluster` — :class:`LocalCluster`, the in-process
+  harness tests and CI boot (real TCP, one event loop, no subprocesses).
+
+This layer is beyond-paper engineering: the paper's claims are about the
+protocols, which stay byte-identical; see ``docs/PAPER_MAP.md``.
+"""
+
+from .client import ClientError, KVClient, parse_address_list
+from .cluster import LocalCluster, run_cluster
+from .codec import (
+    CodecError,
+    FrameDecoder,
+    MessageCodec,
+    MessageRegistry,
+    WIRE_VERSION,
+    default_registry,
+)
+from .loadgen import LoadReport, run_loadgen
+from .node import Address, ClientService, KVService, NodeServer, start_node
+from .wire import ClientHello, ClientReply, ClientSubmit, NodeHello
+
+__all__ = [
+    "Address",
+    "ClientError",
+    "ClientHello",
+    "ClientReply",
+    "ClientService",
+    "ClientSubmit",
+    "CodecError",
+    "FrameDecoder",
+    "KVClient",
+    "KVService",
+    "LoadReport",
+    "LocalCluster",
+    "MessageCodec",
+    "MessageRegistry",
+    "NodeHello",
+    "NodeServer",
+    "WIRE_VERSION",
+    "default_registry",
+    "parse_address_list",
+    "run_cluster",
+    "run_loadgen",
+    "start_node",
+]

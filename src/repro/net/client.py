@@ -1,0 +1,197 @@
+"""KV client for the live cluster: request ids, timeouts, failover.
+
+A :class:`KVClient` speaks the client side of the wire protocol in
+:mod:`repro.net.wire`: it connects to one proxy node (Schneider's
+client-to-proxy model, same as :mod:`repro.smr.client` simulates), sends
+:class:`~repro.net.wire.ClientSubmit` frames, and waits for the matching
+:class:`~repro.net.wire.ClientReply`.
+
+Failure handling follows the standard closed-loop client recipe:
+
+* each submission attempt gets a fresh ``request_id`` but keeps the
+  command's ``command_id``, so retries are idempotent end-to-end (the
+  KV store suppresses duplicate application by id);
+* a timeout or connection error rotates the client to the next proxy in
+  its address book and retries after exponential backoff;
+* replies are matched by ``command_id`` rather than ``request_id`` so a
+  late reply to an earlier attempt of the same command still completes it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ReproError
+from ..smr.kvstore import KVCommand
+from .codec import CodecError, MessageCodec, read_frame
+from .node import Address
+from .wire import ClientHello, ClientReply, ClientSubmit
+
+
+class ClientError(ReproError):
+    """Raised when a command could not be completed within the retry budget."""
+
+
+class KVClient:
+    """One closed-loop client session against a live cluster."""
+
+    def __init__(
+        self,
+        addresses: Sequence[Address],
+        client_id: str,
+        codec: Optional[MessageCodec] = None,
+        timeout: float = 5.0,
+        max_attempts: int = 8,
+        backoff_initial: float = 0.05,
+        backoff_max: float = 1.0,
+        proxy: int = 0,
+        dead_cooldown: float = 10.0,
+    ) -> None:
+        if not addresses:
+            raise ClientError("client needs at least one proxy address")
+        self.addresses = list(addresses)
+        self.client_id = client_id
+        self.codec = codec if codec is not None else MessageCodec()
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        self.proxy = proxy % len(self.addresses)
+        self.dead_cooldown = dead_cooldown
+        self._seq = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        # Proxy blacklist: proxies that recently failed us, with the time
+        # of the failure. Avoided until the cooldown elapses so a crashed
+        # node does not cost one timeout per designated command.
+        self._dead: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Connection management.
+    # ------------------------------------------------------------------
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None:
+            return
+        host, port = self.addresses[self.proxy]
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._writer.write(self.codec.encode(ClientHello(self.client_id)))
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        self._reader = None
+        self._writer = None
+
+    def _alive(self, proxy: int) -> bool:
+        failed_at = self._dead.get(proxy)
+        return failed_at is None or time.monotonic() - failed_at > self.dead_cooldown
+
+    def _fail_over(self) -> None:
+        self._dead[self.proxy] = time.monotonic()
+        total = len(self.addresses)
+        for step in range(1, total + 1):
+            candidate = (self.proxy + step) % total
+            if self._alive(candidate):
+                self.proxy = candidate
+                return
+        # Every proxy recently failed: round-robin regardless.
+        self.proxy = (self.proxy + 1) % total
+
+    # ------------------------------------------------------------------
+    # The request path.
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self, command: KVCommand, proxy: Optional[int] = None
+    ) -> ClientReply:
+        """Submit *command* and wait for its reply; retries with failover.
+
+        ``proxy`` pins the preferred proxy for the first attempt (the load
+        generator uses this to replay a workload's proxy assignment);
+        failures still rotate to the other proxies, and a preferred proxy
+        that recently failed is skipped until its cooldown elapses.
+        """
+        if proxy is not None:
+            preferred = proxy % len(self.addresses)
+            if preferred != self.proxy and self._alive(preferred):
+                await self.close()
+                self.proxy = preferred
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                await self._ensure_connected()
+                request_id = f"{self.client_id}:{self._seq}"
+                self._seq += 1
+                assert self._writer is not None
+                self._writer.write(
+                    self.codec.encode(ClientSubmit(request_id, command))
+                )
+                await self._writer.drain()
+                return await asyncio.wait_for(
+                    self._read_reply(command.command_id), self.timeout
+                )
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                CodecError,
+                OSError,
+            ) as exc:
+                last_error = exc
+                await self.close()
+                self._fail_over()
+                await asyncio.sleep(
+                    min(self.backoff_initial * (2 ** attempt), self.backoff_max)
+                )
+        raise ClientError(
+            f"command {command.command_id!r} failed after "
+            f"{self.max_attempts} attempts: {last_error!r}"
+        )
+
+    async def _read_reply(self, command_id: str) -> ClientReply:
+        assert self._reader is not None
+        while True:
+            message = await read_frame(self._reader, self.codec)
+            if isinstance(message, ClientReply) and message.command_id == command_id:
+                return message
+            # Replies to superseded attempts of other commands are dropped.
+
+    # ------------------------------------------------------------------
+    # Convenience operations.
+    # ------------------------------------------------------------------
+
+    def _next_command_id(self) -> str:
+        return f"{self.client_id}/op-{self._seq}"
+
+    async def put(self, key: str, value: Any) -> ClientReply:
+        return await self.submit(
+            KVCommand(op="put", key=key, value=value, command_id=self._next_command_id())
+        )
+
+    async def get(self, key: str) -> ClientReply:
+        return await self.submit(
+            KVCommand(op="get", key=key, command_id=self._next_command_id())
+        )
+
+
+def parse_address_list(text: str) -> List[Address]:
+    """Parse ``host:port,host:port,...`` (the CLI's ``--peers`` format)."""
+    addresses: List[Address] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        host, _, port = chunk.rpartition(":")
+        if not host or not port.isdigit():
+            raise ClientError(f"bad address {chunk!r}; expected host:port")
+        addresses.append((host, int(port)))
+    if not addresses:
+        raise ClientError(f"no addresses in {text!r}")
+    return addresses

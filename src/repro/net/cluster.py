@@ -1,0 +1,206 @@
+"""In-process cluster harness: every node in one event loop, real TCP.
+
+:class:`LocalCluster` boots *n* :class:`~repro.net.node.NodeServer`\\ s on
+ephemeral localhost ports inside the current event loop — the transport is
+real asyncio TCP (frames, reconnects, timers on the loop clock), but no
+processes are spawned, so tests and CI can run the live stack exactly like
+any other test. Binding all servers before launching any node solves the
+address-book bootstrap: port 0 sockets are bound first, then every node
+learns the full map, then ``on_start`` fires.
+
+Crash injection is crash-stop, matching the model: :meth:`crash` stops a
+node's activations, closes its sockets, and cancels its timers; survivors'
+reconnect loops keep backing off against the dead address, which is
+harmless and realistic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.process import ProcessFactory, ProcessId
+from ..core.values import MaybeValue
+from ..smr.log import SMRReplica
+from .codec import MessageCodec
+from .node import Address, ClientService, KVService, NodeServer
+
+
+class LocalCluster:
+    """*n* live nodes sharing one event loop and one codec.
+
+    Parameters
+    ----------
+    factory:
+        The same :class:`~repro.core.process.ProcessFactory` the simulator
+        takes — run the identical state machines over real transport.
+    client_service_factory:
+        Builds one :class:`ClientService` per node; pass
+        ``KVService`` (the default when ``serve_clients=True``) for the
+        replicated KV store, or ``None`` for bare consensus clusters.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        factory: ProcessFactory,
+        serve_clients: bool = False,
+        client_service_factory: Optional[Callable[[], ClientService]] = None,
+        codec: Optional[MessageCodec] = None,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one node, got n={n}")
+        self.n = n
+        self.codec = codec if codec is not None else MessageCodec()
+        if client_service_factory is None and serve_clients:
+            client_service_factory = KVService
+        self.nodes: List[NodeServer] = [
+            NodeServer(
+                pid,
+                n,
+                factory,
+                codec=self.codec,
+                host=host,
+                port=(base_port + pid) if base_port else 0,
+                client_service=(
+                    client_service_factory() if client_service_factory else None
+                ),
+            )
+            for pid in range(n)
+        ]
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "LocalCluster":
+        for node in self.nodes:
+            await node.bind()
+        addresses = self.addresses
+        for node in self.nodes:
+            await node.launch(addresses)
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        for node in self.nodes:
+            if not node.crashed:
+                await node.stop()
+
+    async def __aenter__(self) -> "LocalCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def addresses(self) -> List[Address]:
+        return [node.address for node in self.nodes]
+
+    # ------------------------------------------------------------------
+    # Failure injection and survivor introspection.
+    # ------------------------------------------------------------------
+
+    async def crash(self, pid: ProcessId) -> None:
+        """Crash-stop node *pid* (idempotent)."""
+        node = self.nodes[pid]
+        if not node.crashed:
+            await node.stop()
+
+    @property
+    def survivors(self) -> List[NodeServer]:
+        return [node for node in self.nodes if not node.crashed]
+
+    def survivor_replicas(self) -> List[SMRReplica]:
+        replicas = []
+        for node in self.survivors:
+            if not isinstance(node.process, SMRReplica):
+                raise ConfigurationError(
+                    "survivor_replicas() needs SMRReplica processes, got "
+                    f"{type(node.process).__name__}"
+                )
+            replicas.append(node.process)
+        return replicas
+
+    # ------------------------------------------------------------------
+    # Convergence waits (all bounded; raise asyncio.TimeoutError).
+    # ------------------------------------------------------------------
+
+    async def wait_all_decided(
+        self, timeout: float
+    ) -> Dict[ProcessId, MaybeValue]:
+        """Wait until every surviving node's process decided; return values."""
+
+        async def _all() -> Dict[ProcessId, MaybeValue]:
+            while True:
+                undecided = [n for n in self.survivors if n.decision is None]
+                if not undecided:
+                    return {n.pid: n.decision for n in self.survivors}
+                await asyncio.sleep(0.005)
+
+        return await asyncio.wait_for(_all(), timeout)
+
+    async def wait_logs_converged(
+        self,
+        timeout: float,
+        expected_commands: Optional[int] = None,
+        poll: float = 0.02,
+    ) -> List[str]:
+        """Wait until every survivor applied the identical command log.
+
+        Convergence means: all survivors' applied command-id sequences are
+        equal, and (when given) the shared log contains at least
+        ``expected_commands`` non-noop commands. Returns the shared
+        sequence. Noop fillers from gap repair count as log entries but
+        not as commands.
+        """
+
+        def _applied(replica: SMRReplica) -> List[str]:
+            return [command.command_id for command in replica.store.log]
+
+        async def _converged() -> List[str]:
+            while True:
+                logs = [_applied(replica) for replica in self.survivor_replicas()]
+                if logs and all(log == logs[0] for log in logs):
+                    commands = [
+                        cid for cid in logs[0] if not cid.startswith("__noop")
+                    ]
+                    if expected_commands is None or len(commands) >= expected_commands:
+                        return logs[0]
+                await asyncio.sleep(poll)
+
+        return await asyncio.wait_for(_converged(), timeout)
+
+
+async def run_cluster(
+    n: int,
+    factory: ProcessFactory,
+    duration: Optional[float] = None,
+    serve_clients: bool = True,
+    base_port: int = 0,
+    on_ready: Optional[Callable[[LocalCluster], None]] = None,
+) -> LocalCluster:
+    """Boot a cluster, optionally run for *duration* seconds, and stop.
+
+    The CLI's in-process deployment mode. With ``duration=None`` the
+    cluster runs until cancelled (Ctrl-C).
+    """
+    cluster = LocalCluster(
+        n, factory, serve_clients=serve_clients, base_port=base_port
+    )
+    await cluster.start()
+    if on_ready is not None:
+        on_ready(cluster)
+    try:
+        if duration is None:
+            while True:
+                await asyncio.sleep(3600)
+        else:
+            await asyncio.sleep(duration)
+    finally:
+        await cluster.stop()
+    return cluster

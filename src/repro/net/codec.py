@@ -1,0 +1,330 @@
+"""Wire codec: a length-prefixed, versioned frame format for messages.
+
+The live runtime (:mod:`repro.net.node`) moves the *same* frozen message
+dataclasses the simulator delivers in memory — ``Propose``, ``TwoB``,
+``Slotted(inner=...)``, EPaxos ``PreAccept`` and friends — across real TCP
+connections. The codec is therefore defined over the repo's whole message
+vocabulary, not a parallel set of DTOs: anything a :class:`Process` can
+``ctx.send`` must round-trip bit-exactly, including ``BOTTOM``, tuples,
+frozensets, and nested messages.
+
+Frame layout
+------------
+
+::
+
+    +-------------------+---------+------------------+
+    | length  (4B, BE)  | version | JSON body (UTF-8)|
+    +-------------------+---------+------------------+
+
+``length`` counts the version byte plus the body. The body is JSON with a
+small tagging scheme for the Python shapes JSON cannot express natively:
+
+========================  ==========================================
+Python value              encoding
+========================  ==========================================
+``None/bool/int/float``   native JSON
+``str``                   native JSON
+``BOTTOM``                ``{"__t": "bot"}``
+``tuple``                 ``{"__t": "tup", "v": [...]}``
+``frozenset``/``set``     ``{"__t": "fset", "v": [...]}`` (sorted)
+``list``                  ``{"__t": "list", "v": [...]}``
+``dict``                  ``{"__t": "map", "v": [[k, v], ...]}``
+registered dataclass      ``{"__t": "rec", "k": name, "v": {...}}``
+========================  ==========================================
+
+Sets are serialized in a canonical order (sorted by their member's JSON
+rendering) so the encoding of a message is a pure function of its value —
+the same property :func:`repro.core.messages.message_sort_key` gives the
+schedulers, carried over to the wire.
+
+The :class:`MessageRegistry` maps dataclass names to classes. The default
+registry (:func:`default_registry`) walks every concrete
+:class:`~repro.core.messages.Message` subclass defined by ``core``,
+``omega``, ``protocols``, ``smr``, and :mod:`repro.net.wire`, plus the
+payload structs that ride inside messages (``KVCommand``, EPaxos
+``Command``). Version or registry mismatches raise :class:`CodecError`
+rather than decoding garbage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import struct
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
+
+from ..core.errors import ReproError
+from ..core.values import BOTTOM, is_bottom
+
+#: Current wire format version; bumped on any incompatible change.
+WIRE_VERSION = 1
+
+#: Frames larger than this are rejected — a corrupt length prefix should
+#: fail loudly, not allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class CodecError(ReproError):
+    """Raised on malformed frames, unknown types, or version mismatch."""
+
+
+class MessageRegistry:
+    """Bidirectional map between dataclass types and wire names.
+
+    Names must be unique; :meth:`register` raises on a collision so two
+    protocols can never silently claim the same wire tag.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Type] = {}
+        self._by_type: Dict[Type, str] = {}
+
+    def register(self, cls: Type, name: Optional[str] = None) -> Type:
+        """Register *cls* (a frozen dataclass) under *name* (default: class name)."""
+        if not dataclasses.is_dataclass(cls):
+            raise CodecError(f"{cls!r} is not a dataclass; cannot go on the wire")
+        key = name if name is not None else cls.__name__
+        existing = self._by_name.get(key)
+        if existing is not None and existing is not cls:
+            raise CodecError(
+                f"wire name {key!r} already registered for {existing!r}"
+            )
+        self._by_name[key] = cls
+        self._by_type[cls] = key
+        return cls
+
+    def name_of(self, cls: Type) -> Optional[str]:
+        return self._by_type.get(cls)
+
+    def type_of(self, name: str) -> Type:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CodecError(f"unknown wire type {name!r}; registries differ?") from None
+
+    def types(self) -> List[Type]:
+        """All registered classes, in deterministic (name) order."""
+        return [self._by_name[name] for name in sorted(self._by_name)]
+
+    def __contains__(self, cls: Type) -> bool:
+        return cls in self._by_type
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+def _walk_subclasses(cls: Type) -> Iterable[Type]:
+    for sub in cls.__subclasses__():
+        yield sub
+        yield from _walk_subclasses(sub)
+
+
+def default_registry() -> MessageRegistry:
+    """Registry covering every message vocabulary in the repository.
+
+    Importing the protocol modules defines their message dataclasses;
+    walking ``Message.__subclasses__`` then picks up each concrete type.
+    Marker bases (``Message`` itself, ``ClientRequest``) carry no payload
+    of their own and never travel, so they are skipped.
+    """
+    # Imports are for the side effect of defining the Message subclasses.
+    from ..core.messages import Message
+    from ..core.process import ClientRequest
+    from ..omega import leader as _omega_leader  # noqa: F401
+    from ..protocols import fast_paxos as _fast_paxos  # noqa: F401
+    from ..protocols import paxos as _paxos  # noqa: F401
+    from ..protocols import twostep as _twostep  # noqa: F401
+    from ..protocols.epaxos import messages as _epaxos_messages
+    from ..smr import log as _smr_log  # noqa: F401
+    from ..smr.kvstore import KVCommand
+    from . import wire as _wire  # noqa: F401
+
+    registry = MessageRegistry()
+    skip = {Message, ClientRequest}
+    for cls in _walk_subclasses(Message):
+        if cls in skip:
+            continue
+        registry.register(cls)
+    # Payload structs carried inside messages (not messages themselves).
+    registry.register(KVCommand)
+    registry.register(_epaxos_messages.Command, name="EPaxosCommand")
+    return registry
+
+
+class MessageCodec:
+    """Encode/decode registered dataclasses to/from wire frames."""
+
+    def __init__(self, registry: Optional[MessageRegistry] = None) -> None:
+        self.registry = registry if registry is not None else default_registry()
+
+    # ------------------------------------------------------------------
+    # Object <-> JSON-able tree.
+    # ------------------------------------------------------------------
+
+    def to_jsonable(self, obj: Any) -> Any:
+        if obj is None or isinstance(obj, (bool, str)):
+            return obj
+        if isinstance(obj, (int, float)):
+            return obj
+        if is_bottom(obj):
+            return {"__t": "bot"}
+        if isinstance(obj, tuple):
+            return {"__t": "tup", "v": [self.to_jsonable(item) for item in obj]}
+        if isinstance(obj, (frozenset, set)):
+            encoded = [self.to_jsonable(item) for item in obj]
+            encoded.sort(key=lambda item: json.dumps(item, sort_keys=True))
+            return {"__t": "fset", "v": encoded}
+        if isinstance(obj, list):
+            return {"__t": "list", "v": [self.to_jsonable(item) for item in obj]}
+        if isinstance(obj, dict):
+            return {
+                "__t": "map",
+                "v": [
+                    [self.to_jsonable(key), self.to_jsonable(value)]
+                    for key, value in obj.items()
+                ],
+            }
+        name = self.registry.name_of(type(obj))
+        if name is not None:
+            return {
+                "__t": "rec",
+                "k": name,
+                "v": {
+                    field.name: self.to_jsonable(getattr(obj, field.name))
+                    for field in dataclasses.fields(obj)
+                },
+            }
+        raise CodecError(
+            f"cannot encode {type(obj).__name__!r} value {obj!r}: "
+            "type not registered with the wire codec"
+        )
+
+    def from_jsonable(self, node: Any) -> Any:
+        if node is None or isinstance(node, (bool, int, float, str)):
+            return node
+        if isinstance(node, list):  # only produced inside tagged containers
+            return [self.from_jsonable(item) for item in node]
+        if not isinstance(node, dict):
+            raise CodecError(f"malformed wire body node: {node!r}")
+        tag = node.get("__t")
+        if tag == "bot":
+            return BOTTOM
+        if tag == "tup":
+            return tuple(self.from_jsonable(item) for item in node["v"])
+        if tag == "fset":
+            return frozenset(self.from_jsonable(item) for item in node["v"])
+        if tag == "list":
+            return [self.from_jsonable(item) for item in node["v"]]
+        if tag == "map":
+            return {
+                self.from_jsonable(key): self.from_jsonable(value)
+                for key, value in node["v"]
+            }
+        if tag == "rec":
+            cls = self.registry.type_of(node["k"])
+            fields = {
+                name: self.from_jsonable(value) for name, value in node["v"].items()
+            }
+            try:
+                return cls(**fields)
+            except TypeError as exc:
+                raise CodecError(
+                    f"wire fields {sorted(fields)} do not match {cls.__name__}: {exc}"
+                ) from None
+        raise CodecError(f"unknown wire tag {tag!r}")
+
+    # ------------------------------------------------------------------
+    # Frames.
+    # ------------------------------------------------------------------
+
+    def encode(self, obj: Any) -> bytes:
+        """Serialize *obj* into one length-prefixed frame."""
+        body = json.dumps(
+            self.to_jsonable(obj), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        payload_len = 1 + len(body)
+        if payload_len > MAX_FRAME_BYTES:
+            raise CodecError(f"frame of {payload_len} bytes exceeds MAX_FRAME_BYTES")
+        return _LENGTH.pack(payload_len) + bytes([WIRE_VERSION]) + body
+
+    def decode_payload(self, payload: bytes) -> Any:
+        """Decode one frame payload (version byte + body, no length prefix)."""
+        if not payload:
+            raise CodecError("empty frame payload")
+        version = payload[0]
+        if version != WIRE_VERSION:
+            raise CodecError(
+                f"wire version mismatch: got {version}, speak {WIRE_VERSION}"
+            )
+        try:
+            tree = json.loads(payload[1:].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"undecodable frame body: {exc}") from None
+        return self.from_jsonable(tree)
+
+    def decode(self, frame: bytes) -> Any:
+        """Decode one complete frame (length prefix included)."""
+        decoder = FrameDecoder(self)
+        messages = decoder.feed(frame)
+        if len(messages) != 1 or decoder.pending_bytes:
+            raise CodecError(
+                f"expected exactly one frame, got {len(messages)} "
+                f"with {decoder.pending_bytes} bytes left over"
+            )
+        return messages[0]
+
+
+class FrameDecoder:
+    """Incremental frame splitter for a byte stream.
+
+    Feed it whatever chunks the transport hands you; it buffers partial
+    frames and returns each completed message in arrival order. Used
+    directly by tests and by the runtime's blocking readers.
+    """
+
+    def __init__(self, codec: MessageCodec) -> None:
+        self._codec = codec
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Any]:
+        self._buffer.extend(data)
+        messages: List[Any] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (payload_len,) = _LENGTH.unpack_from(self._buffer)
+            if payload_len > MAX_FRAME_BYTES:
+                raise CodecError(
+                    f"incoming frame claims {payload_len} bytes "
+                    f"(> {MAX_FRAME_BYTES}); corrupt stream?"
+                )
+            end = _LENGTH.size + payload_len
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            messages.append(self._codec.decode_payload(payload))
+
+
+async def read_frame(reader: asyncio.StreamReader, codec: MessageCodec) -> Any:
+    """Read exactly one frame from an asyncio stream reader.
+
+    Raises ``asyncio.IncompleteReadError`` on EOF mid-frame and
+    ``ConnectionError``/``CodecError`` like the underlying calls.
+    """
+    header = await reader.readexactly(_LENGTH.size)
+    (payload_len,) = _LENGTH.unpack(header)
+    if payload_len > MAX_FRAME_BYTES:
+        raise CodecError(
+            f"incoming frame claims {payload_len} bytes (> {MAX_FRAME_BYTES})"
+        )
+    payload = await reader.readexactly(payload_len)
+    return codec.decode_payload(payload)

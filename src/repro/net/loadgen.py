@@ -1,0 +1,182 @@
+"""Closed-loop load generator for the live cluster.
+
+Spawns *N* concurrent :class:`~repro.net.client.KVClient` sessions, each
+driving its share of a workload one command at a time (closed loop:
+submit, wait for the reply, submit the next). The workload is produced by
+the *same* seeded generator the simulator uses —
+:func:`repro.smr.client.put_get_workload` — so a live run and an E10
+simulation of the same ``(count, keys, seed)`` execute the identical
+command sequence against the identical proxy assignment, making their
+latency tables directly comparable.
+
+Reports reuse the :mod:`repro.verify.metrics` layer (``kind="loadgen"``,
+one unit = one completed command) for throughput, and
+:func:`repro.analysis.stats.summarize` for p50/p95/p99 commit latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.stats import Summary, summarize
+from ..core.errors import ConfigurationError
+from ..smr.client import ClientOp, put_get_workload
+from ..verify.metrics import MetricsRecorder, VerificationMetrics
+from .client import ClientError, KVClient
+from .codec import MessageCodec
+from .node import Address
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run produced.
+
+    ``commit_latency`` is the proxy-observed commit latency carried in
+    each reply (the paper's client-latency quantity, real seconds);
+    ``client_latency`` is the client-observed wall latency including the
+    network hop and any retries.
+    """
+
+    commands: int
+    completed: int
+    failed: int
+    duplicates: int
+    wall_seconds: float
+    metrics: VerificationMetrics
+    commit_latency: Optional[Summary]
+    client_latency: Optional[Summary]
+    results: Dict[str, Any] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.completed}/{self.commands} commands in "
+            f"{self.wall_seconds:.3f}s ({self.throughput:,.0f}/s)"
+        ]
+        if self.commit_latency is not None:
+            s = self.commit_latency
+            parts.append(
+                f"commit p50={s.p50 * 1000:.1f}ms p95={s.p95 * 1000:.1f}ms "
+                f"p99={s.p99 * 1000:.1f}ms"
+            )
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.duplicates:
+            parts.append(f"{self.duplicates} duplicate completions")
+        return "; ".join(parts)
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat, JSON-safe row for tables and ``--json`` output."""
+        record: Dict[str, Any] = {
+            "commands": self.commands,
+            "completed": self.completed,
+            "failed": self.failed,
+            "duplicates": self.duplicates,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_per_sec": round(self.throughput, 1),
+        }
+        for label, summary in (
+            ("commit", self.commit_latency),
+            ("client", self.client_latency),
+        ):
+            if summary is not None:
+                record[f"{label}_p50_ms"] = round(summary.p50 * 1000, 2)
+                record[f"{label}_p95_ms"] = round(summary.p95 * 1000, 2)
+                record[f"{label}_p99_ms"] = round(summary.p99 * 1000, 2)
+                record[f"{label}_mean_ms"] = round(summary.mean * 1000, 2)
+        return record
+
+
+async def run_loadgen(
+    addresses: Sequence[Address],
+    clients: int = 4,
+    count: int = 100,
+    keys: Sequence[str] = ("alpha", "beta", "gamma"),
+    put_fraction: float = 0.7,
+    seed: int = 0,
+    timeout: float = 5.0,
+    max_attempts: int = 8,
+    codec: Optional[MessageCodec] = None,
+    client_id_prefix: str = "lg",
+    ops: Optional[Sequence[ClientOp]] = None,
+) -> LoadReport:
+    """Drive *count* commands through the cluster at *addresses*.
+
+    The command sequence and proxy assignment come from
+    :func:`put_get_workload` with the given seed (or pass explicit *ops*);
+    commands are dealt round-robin to *clients* concurrent closed-loop
+    sessions, each pinned to the op's designated proxy with failover.
+    """
+    if clients < 1:
+        raise ConfigurationError(f"need at least one client, got {clients}")
+    shared_codec = codec if codec is not None else MessageCodec()
+    if ops is None:
+        ops = put_get_workload(
+            count,
+            keys=keys,
+            proxies=list(range(len(addresses))),
+            put_fraction=put_fraction,
+            seed=seed,
+        )
+    shares: List[List[ClientOp]] = [list(ops[i::clients]) for i in range(clients)]
+    recorder = MetricsRecorder("loadgen")
+    completions: List[Tuple[str, Any, float, float, bool]] = []
+    errors: List[str] = []
+
+    async def worker(index: int, share: List[ClientOp]) -> None:
+        client = KVClient(
+            addresses,
+            client_id=f"{client_id_prefix}-{index}",
+            codec=shared_codec,
+            timeout=timeout,
+            max_attempts=max_attempts,
+        )
+        try:
+            for op in share:
+                begin = time.perf_counter()
+                try:
+                    reply = await client.submit(op.command, proxy=op.proxy)
+                except ClientError as exc:
+                    errors.append(str(exc))
+                    continue
+                elapsed = time.perf_counter() - begin
+                recorder.units += 1
+                completions.append(
+                    (
+                        op.command.command_id,
+                        reply.result,
+                        reply.commit_seconds,
+                        elapsed,
+                        reply.duplicate,
+                    )
+                )
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(worker(index, share) for index, share in enumerate(shares))
+    )
+    wall = time.perf_counter() - started
+
+    commit_samples = [c[2] for c in completions if not c[4]]
+    client_samples = [c[3] for c in completions]
+    return LoadReport(
+        commands=len(ops),
+        completed=len(completions),
+        failed=len(errors),
+        duplicates=sum(1 for c in completions if c[4]),
+        wall_seconds=wall,
+        metrics=recorder.finish(workers=clients, wall_seconds=wall),
+        commit_latency=summarize(commit_samples),
+        client_latency=summarize(client_samples),
+        results={c[0]: c[1] for c in completions if not c[4]},
+        errors=errors,
+    )

@@ -1,0 +1,492 @@
+"""The live node runtime: one :class:`Process` served over asyncio TCP.
+
+A :class:`NodeServer` hosts exactly one unmodified
+:class:`repro.core.process.Process` state machine — the same object the
+discrete-event simulator runs — and adapts its :class:`Context` onto real
+transports:
+
+* ``send``/``broadcast`` enqueue onto a per-peer outbound queue drained by
+  a dedicated sender task that owns the ``i → j`` TCP connection, dials
+  lazily, and reconnects with exponential backoff. The frame being sent
+  when a connection drops stays at the head of the queue and is re-sent on
+  reconnect, so links are reliable up to crash-stop (duplicates are
+  possible after a reconnect; every protocol here tracks votes in sets, so
+  re-delivery is harmless).
+* ``set_timer``/``cancel_timer`` map onto ``loop.call_later`` with the
+  exact generation-counter semantics of the simulator (re-arming replaces
+  the earlier deadline, cancelling a non-pending timer is a no-op, stale
+  callbacks never fire) — pinned by ``tests/sim/test_timer_semantics.py``
+  and mirrored in ``tests/net/test_node_timers.py``.
+* ``decide`` records the first decision and verifies any repeat carries
+  the same value, raising :class:`~repro.core.errors.ProtocolError`
+  otherwise, exactly like the schedulers.
+
+Activations stay single-threaded: everything runs on one event loop, and
+each handler is a plain synchronous call, so the determinism contract of
+:mod:`repro.core.process` needs no locks.
+
+Client connections (first frame :class:`~repro.net.wire.ClientHello`) are
+handed to a pluggable service; :class:`KVService` adapts them onto an
+:class:`~repro.smr.log.SMRReplica` by injecting
+:class:`~repro.smr.log.SubmitCommand` as the reserved ``CLIENT`` sender
+and answering once the replica applied the command.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError, ProtocolError, SchedulerError
+from ..core.messages import Message
+from ..core.process import CLIENT, Context, Process, ProcessFactory, ProcessId
+from ..core.values import MaybeValue
+from ..smr.log import SMRReplica, SubmitCommand
+from .codec import CodecError, MessageCodec, read_frame
+from .wire import ClientHello, ClientReply, ClientSubmit, NodeHello
+
+#: (host, port) pairs, indexed by pid.
+Address = Tuple[str, int]
+
+
+class _NodeContext(Context):
+    """Concrete :class:`Context` bound to one activation of a live node."""
+
+    def __init__(self, node: "NodeServer") -> None:
+        self._node = node
+
+    @property
+    def now(self) -> float:
+        return self._node.now
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._node.pid
+
+    @property
+    def n(self) -> int:
+        return self._node.n
+
+    def send(self, dst: ProcessId, message: Message) -> None:
+        self._node._send(dst, message)
+
+    def set_timer(self, name: str, delay: float) -> None:
+        self._node._set_timer(name, delay)
+
+    def cancel_timer(self, name: str) -> None:
+        self._node._cancel_timer(name)
+
+    def decide(self, value: MaybeValue) -> None:
+        self._node._decide(value)
+
+
+class ClientService:
+    """Hook pair a :class:`NodeServer` calls for client connections.
+
+    ``submit`` handles one :class:`ClientSubmit`; ``poll`` runs after every
+    activation and may emit replies via the ``reply`` callables captured at
+    submit time.
+    """
+
+    def submit(
+        self,
+        node: "NodeServer",
+        request: ClientSubmit,
+        reply: Callable[[ClientReply], None],
+    ) -> None:
+        raise NotImplementedError
+
+    def poll(self, node: "NodeServer") -> None:
+        """Called after every activation; default: nothing to flush."""
+
+
+class KVService(ClientService):
+    """Serve the replicated KV store hosted by an :class:`SMRReplica`."""
+
+    def __init__(self) -> None:
+        # request_id -> (command_id, reply callable)
+        self._pending: Dict[str, Tuple[str, Callable[[ClientReply], None]]] = {}
+
+    def submit(
+        self,
+        node: "NodeServer",
+        request: ClientSubmit,
+        reply: Callable[[ClientReply], None],
+    ) -> None:
+        replica = node.process
+        if not isinstance(replica, SMRReplica):
+            raise ConfigurationError(
+                f"KVService needs an SMRReplica process, got {type(replica).__name__}"
+            )
+        self._pending[request.request_id] = (request.command.command_id, reply)
+        node._activate(
+            lambda ctx: replica.on_message(ctx, CLIENT, SubmitCommand(request.command))
+        )
+
+    def poll(self, node: "NodeServer") -> None:
+        replica = node.process
+        if not isinstance(replica, SMRReplica) or not self._pending:
+            return
+        finished: List[str] = []
+        for request_id, (command_id, reply) in self._pending.items():
+            if command_id in replica.results:
+                result, _applied_at = replica.results[command_id]
+                commit = replica.commit_times.get(command_id, 0.0) - replica.submissions.get(
+                    command_id, 0.0
+                )
+                reply(
+                    ClientReply(
+                        request_id=request_id,
+                        command_id=command_id,
+                        result=result,
+                        commit_seconds=max(commit, 0.0),
+                    )
+                )
+                finished.append(request_id)
+            elif (
+                command_id in replica.commit_times
+                and command_id in replica.store.applied_ids
+            ):
+                # Committed and applied before this proxy saw the submission
+                # (client failover re-submitted a command another proxy
+                # already drove to completion). The command is durable but
+                # its original result was observed elsewhere.
+                reply(
+                    ClientReply(
+                        request_id=request_id,
+                        command_id=command_id,
+                        result=None,
+                        commit_seconds=0.0,
+                        duplicate=True,
+                    )
+                )
+                finished.append(request_id)
+        for request_id in finished:
+            del self._pending[request_id]
+
+
+class NodeServer:
+    """One live node: a process, its peer links, and its client port.
+
+    Lifecycle: :meth:`bind` (listen, learn the port), then :meth:`launch`
+    with the full address book (start peer senders, activate
+    ``on_start``), then :meth:`stop` (crash-stop: everything ceases,
+    peers' reconnect loops keep backing off harmlessly).
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        factory: ProcessFactory,
+        codec: Optional[MessageCodec] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        client_service: Optional[ClientService] = None,
+        reconnect_initial: float = 0.05,
+        reconnect_max: float = 1.0,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one process, got n={n}")
+        if not 0 <= pid < n:
+            raise ConfigurationError(f"pid {pid} out of range for n={n}")
+        self.pid = pid
+        self.n = n
+        self.codec = codec if codec is not None else MessageCodec()
+        self.host = host
+        self.port = port
+        self.client_service = client_service
+        self.reconnect_initial = reconnect_initial
+        self.reconnect_max = reconnect_max
+        self.process: Process = factory(pid, n)
+
+        self.decisions: List[Tuple[float, MaybeValue]] = []
+        self.errors: List[BaseException] = []
+        self._decided = asyncio.Event()
+        self._crashed = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._addresses: List[Address] = []
+        self._t0 = 0.0
+        self._timer_generation: Dict[str, int] = {}
+        self._timer_handles: Dict[str, asyncio.TimerHandle] = {}
+        self._outbox: Dict[ProcessId, Deque[Message]] = {}
+        self._outbox_wake: Dict[ProcessId, asyncio.Event] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._writers: List[asyncio.StreamWriter] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Seconds since :meth:`launch` on the loop's monotonic clock."""
+        return asyncio.get_event_loop().time() - self._t0
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def address(self) -> Address:
+        return (self.host, self.port)
+
+    async def bind(self) -> Address:
+        """Start listening; resolves the port when 0 was requested."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def launch(self, addresses: Sequence[Address]) -> None:
+        """Start peer senders and run the process's ``on_start``."""
+        if self._server is None:
+            raise ConfigurationError("bind() must run before launch()")
+        if len(addresses) != self.n:
+            raise ConfigurationError(
+                f"address book has {len(addresses)} entries for n={self.n}"
+            )
+        self._addresses = list(addresses)
+        loop = asyncio.get_event_loop()
+        self._t0 = loop.time()
+        for peer in range(self.n):
+            if peer == self.pid:
+                continue
+            self._outbox[peer] = deque()
+            self._outbox_wake[peer] = asyncio.Event()
+            self._tasks.append(loop.create_task(self._peer_sender(peer)))
+        self._activate(lambda ctx: self.process.on_start(ctx))
+
+    async def stop(self) -> None:
+        """Crash-stop this node: no further activations, links die."""
+        self._crashed = True
+        for handle in self._timer_handles.values():
+            handle.cancel()
+        self._timer_handles.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = list(self._tasks)
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        for writer in self._writers:
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self._writers.clear()
+
+    # ------------------------------------------------------------------
+    # Activations (all synchronous, all on the event loop thread).
+    # ------------------------------------------------------------------
+
+    def _activate(self, handler: Callable[[Context], None]) -> None:
+        if self._crashed:
+            return
+        ctx = _NodeContext(self)
+        try:
+            handler(ctx)
+        except Exception as exc:
+            self.errors.append(exc)
+            raise
+        finally:
+            if self.client_service is not None and not self._crashed:
+                self.client_service.poll(self)
+
+    def _deliver(self, sender: ProcessId, message: Message) -> None:
+        self._activate(lambda ctx: self.process.on_message(ctx, sender, message))
+
+    # ------------------------------------------------------------------
+    # Context callbacks (mirroring Simulation's semantics).
+    # ------------------------------------------------------------------
+
+    def _send(self, dst: ProcessId, message: Message) -> None:
+        if not 0 <= dst < self.n:
+            raise SchedulerError(f"send to unknown process {dst}")
+        if dst == self.pid:
+            # Self-delivery stays asynchronous (never reentrant), matching
+            # the simulator where a self-send goes through the event queue.
+            asyncio.get_event_loop().call_soon(self._deliver_self, message)
+            return
+        self._outbox[dst].append(message)
+        self._outbox_wake[dst].set()
+
+    def _deliver_self(self, message: Message) -> None:
+        if not self._crashed:
+            self._deliver(self.pid, message)
+
+    def _set_timer(self, name: str, delay: float) -> None:
+        if delay < 0:
+            raise SchedulerError(f"timer delay must be non-negative, got {delay}")
+        generation = self._timer_generation.get(name, 0) + 1
+        self._timer_generation[name] = generation
+        stale = self._timer_handles.pop(name, None)
+        if stale is not None:
+            stale.cancel()
+        self._timer_handles[name] = asyncio.get_event_loop().call_later(
+            delay, self._fire_timer, name, generation
+        )
+
+    def _cancel_timer(self, name: str) -> None:
+        if name in self._timer_generation:
+            self._timer_generation[name] += 1
+            handle = self._timer_handles.pop(name, None)
+            if handle is not None:
+                handle.cancel()
+
+    def _fire_timer(self, name: str, generation: int) -> None:
+        if self._crashed:
+            return
+        if self._timer_generation.get(name, 0) != generation:
+            return  # stale: re-armed or cancelled since scheduling
+        self._timer_handles.pop(name, None)
+        self._activate(lambda ctx: self.process.on_timer(ctx, name))
+
+    def _decide(self, value: MaybeValue) -> None:
+        if self.decisions and self.decisions[0][1] != value:
+            raise ProtocolError(
+                f"node {self.pid} decided {value!r} after {self.decisions[0][1]!r}"
+            )
+        self.decisions.append((self.now, value))
+        self._decided.set()
+
+    @property
+    def decision(self) -> Optional[MaybeValue]:
+        return self.decisions[0][1] if self.decisions else None
+
+    async def wait_decided(self, timeout: Optional[float] = None) -> MaybeValue:
+        await asyncio.wait_for(self._decided.wait(), timeout)
+        return self.decisions[0][1]
+
+    # ------------------------------------------------------------------
+    # Peer links: one directed connection per ordered pair, sender-owned.
+    # ------------------------------------------------------------------
+
+    async def _peer_sender(self, peer: ProcessId) -> None:
+        queue = self._outbox[peer]
+        wake = self._outbox_wake[peer]
+        backoff = self.reconnect_initial
+        while not self._crashed:
+            try:
+                reader, writer = await asyncio.open_connection(*self._addresses[peer])
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.reconnect_max)
+                continue
+            try:
+                writer.write(self.codec.encode(NodeHello(self.pid)))
+                await writer.drain()
+                backoff = self.reconnect_initial
+                while True:
+                    while not queue:
+                        wake.clear()
+                        await wake.wait()
+                    # Pop only after a successful drain: the head frame is
+                    # re-sent if the connection dies mid-write.
+                    writer.write(self.codec.encode(queue[0]))
+                    await writer.drain()
+                    queue.popleft()
+            except (ConnectionError, OSError):
+                continue
+            finally:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Inbound connections: peers deliver, clients converse.
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.append(writer)
+        try:
+            try:
+                hello = await read_frame(reader, self.codec)
+            except (asyncio.IncompleteReadError, ConnectionError, CodecError):
+                return
+            if isinstance(hello, NodeHello):
+                await self._serve_peer(reader, hello.pid)
+            elif isinstance(hello, ClientHello):
+                await self._serve_client(reader, writer)
+            # Anything else: close silently (port scanners, bad handshakes).
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+            if writer in self._writers:
+                self._writers.remove(writer)
+
+    async def _serve_peer(self, reader: asyncio.StreamReader, sender: ProcessId) -> None:
+        while not self._crashed:
+            try:
+                message = await read_frame(reader, self.codec)
+            except (asyncio.IncompleteReadError, ConnectionError, CodecError):
+                return  # peer went away; its sender task reconnects
+            self._deliver(sender, message)
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.client_service is None:
+            return
+        replies: "asyncio.Queue[ClientReply]" = asyncio.Queue()
+        loop = asyncio.get_event_loop()
+        flusher = loop.create_task(self._flush_replies(replies, writer))
+        self._tasks.append(flusher)
+        try:
+            while not self._crashed:
+                try:
+                    request = await read_frame(reader, self.codec)
+                except (asyncio.IncompleteReadError, ConnectionError, CodecError):
+                    return
+                if isinstance(request, ClientSubmit):
+                    self.client_service.submit(self, request, replies.put_nowait)
+        finally:
+            flusher.cancel()
+            if flusher in self._tasks:
+                self._tasks.remove(flusher)
+
+    async def _flush_replies(
+        self, replies: "asyncio.Queue[ClientReply]", writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            reply = await replies.get()
+            writer.write(self.codec.encode(reply))
+            await writer.drain()
+
+
+def start_node(
+    pid: ProcessId,
+    addresses: Sequence[Address],
+    factory: ProcessFactory,
+    codec: Optional[MessageCodec] = None,
+    client_service: Optional[ClientService] = None,
+) -> NodeServer:
+    """Build a node for slot *pid* of *addresses* (not yet bound).
+
+    Convenience for the ``python -m repro cluster --node`` deployment
+    path; the caller still awaits :meth:`NodeServer.bind` and
+    :meth:`NodeServer.launch`.
+    """
+    host, port = addresses[pid]
+    return NodeServer(
+        pid,
+        len(addresses),
+        factory,
+        codec=codec,
+        host=host,
+        port=port,
+        client_service=client_service,
+    )

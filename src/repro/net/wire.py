@@ -1,0 +1,74 @@
+"""Runtime-level wire vocabulary: handshakes and the client protocol.
+
+These are the only messages :mod:`repro.net` adds on top of the protocol
+vocabularies — everything else on the wire is an unmodified protocol
+message. They derive from :class:`~repro.core.messages.Message` so the
+one codec and one registry cover the whole stream.
+
+Connection roles
+----------------
+
+Every TCP connection is opened by exactly one side and typed by its first
+frame:
+
+* ``NodeHello(pid)`` — a peer link. Node *i* dials node *j* once and uses
+  that connection exclusively for ``i → j`` traffic; *j* learns the sender
+  pid from the hello and never writes back on it. One directed connection
+  per ordered pair keeps reconnect logic trivial (the sender owns it).
+* ``ClientHello(client_id)`` — a client link. Bidirectional:
+  ``ClientSubmit`` frames flow in, ``ClientReply`` frames flow out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.messages import Message
+from ..smr.kvstore import KVCommand
+
+
+@dataclass(frozen=True)
+class NodeHello(Message):
+    """First frame on a peer link: identifies the dialing node."""
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class ClientHello(Message):
+    """First frame on a client link: identifies the client session."""
+
+    client_id: str
+
+
+@dataclass(frozen=True)
+class ClientSubmit(Message):
+    """A client's request that *command* be committed by the service.
+
+    ``request_id`` identifies this submission attempt; retries of the same
+    command (same ``command_id``) carry fresh request ids, and the KV
+    store's idempotence-by-id makes re-submission safe.
+    """
+
+    request_id: str
+    command: KVCommand
+
+
+@dataclass(frozen=True)
+class ClientReply(Message):
+    """The proxy's answer once the command was decided and applied.
+
+    ``result`` is the state-machine output observed at the proxy's apply
+    time. ``commit_seconds`` is the proxy-observed commit latency (the
+    paper's client-latency quantity, measured on a real clock).
+    ``duplicate`` marks replies for commands that were already committed
+    via an earlier submission (e.g. after a client failover) — the command
+    is durable but its original result is not reconstructable here.
+    """
+
+    request_id: str
+    command_id: str
+    result: Any
+    commit_seconds: float
+    duplicate: bool = False

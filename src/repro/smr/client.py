@@ -67,9 +67,10 @@ def put_get_workload(
     if not keys or not proxies:
         raise ConfigurationError("need at least one key and one proxy")
     rng = random.Random(seed)
+    key_pool = list(keys)  # materialized once, not per command
     ops = []
     for index in range(count):
-        key = rng.choice(list(keys))
+        key = rng.choice(key_pool)
         proxy = proxies[index % len(proxies)]
         if rng.random() < put_fraction:
             command = KVCommand(

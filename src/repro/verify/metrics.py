@@ -38,6 +38,12 @@ def peak_rss_kb() -> int:
     return int(peak)
 
 
+#: Display name of one unit of work, per campaign kind. The live load
+#: generator (:mod:`repro.net.loadgen`) reuses this layer with
+#: ``kind="loadgen"``, where a unit is one completed client command.
+UNIT_NAMES = {"explore": "states", "fuzz": "schedules", "loadgen": "commands"}
+
+
 @dataclass(frozen=True)
 class WorkerMetrics:
     """Per-worker share of a sharded campaign."""
@@ -83,7 +89,7 @@ class VerificationMetrics:
         return self.dedup_hits / self.dedup_checks if self.dedup_checks else 0.0
 
     def describe(self) -> str:
-        unit_name = "states" if self.kind == "explore" else "schedules"
+        unit_name = UNIT_NAMES.get(self.kind, "units")
         parts = [
             f"{self.units} {unit_name} in {self.wall_seconds:.3f}s "
             f"({self.units_per_sec:,.0f}/s)"

@@ -1,5 +1,7 @@
 """Tests for the `python -m repro` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -36,6 +38,46 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestJsonOutput:
+    def test_bounds_json_parses(self, capsys):
+        assert main(["bounds", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "e1"
+        (rows,) = payload["tables"].values()
+        assert rows and {"f", "e", "lamport"} <= set(rows[0])
+
+    def test_experiment_json_parses(self, capsys):
+        assert main(["experiment", "e1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {"tables"}
+        (rows,) = payload["tables"].values()
+        assert isinstance(rows, list) and isinstance(rows[0], dict)
+
+    def test_experiment_json_matches_text_rows(self, capsys):
+        # The JSON rows are the same records the text tables render.
+        assert main(["experiment", "e2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["tables"]) == 2  # E2 prints two tables
+
+    def test_unknown_experiment_still_errors_with_json(self, capsys):
+        assert main(["experiment", "e99", "--json"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+
+class TestClusterCli:
+    def test_node_mode_requires_peers(self, capsys):
+        assert main(["cluster", "--node", "0"]) == 2
+        assert "--peers" in capsys.readouterr().out
+
+    def test_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--peers", "127.0.0.1:9400,127.0.0.1:9401"]
+        )
+        assert args.clients == 4
+        assert args.count == 100
+        assert args.json is False
 
 
 class TestReport:

@@ -1,0 +1,137 @@
+"""The live runtime's timer adapter matches the simulator's semantics.
+
+Every case in ``tests/sim/test_timer_semantics.py`` is mirrored here
+against :class:`repro.net.node.NodeServer`'s ``loop.call_later`` adapter,
+using the same :class:`TimerProbe` process. Real delays are short but the
+assertions are ordinal (which fires happened, and in what relative order),
+not exact-time, so the tests stay robust on loaded machines.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import SchedulerError
+from repro.core.process import CLIENT
+from repro.net.node import NodeServer
+from tests.sim.test_timer_semantics import Poke, TimerProbe
+
+#: One "tick" of real time; generous enough for a busy event loop.
+TICK = 0.05
+
+
+async def _with_node(scenario, **probe_kwargs):
+    """Boot a single live node, run *scenario(node, probe)*, tear down."""
+    node = NodeServer(0, 1, lambda pid, n: TimerProbe(pid, n, **probe_kwargs))
+    await node.bind()
+    await node.launch([node.address])
+    try:
+        await scenario(node, node.process)
+    finally:
+        await node.stop()
+
+
+def _poke(node, action, name="t", delay=0.0):
+    node._deliver(CLIENT, Poke(action, name=name, delay=delay))
+
+
+class TestLiveSetTimer:
+    def test_single_set_fires_once(self):
+        async def scenario(node, probe):
+            _poke(node, "set", delay=TICK)
+            await asyncio.sleep(4 * TICK)
+            assert [name for _, name in probe.fired] == ["t"]
+
+        asyncio.run(_with_node(scenario))
+
+    def test_rearm_replaces_deadline(self):
+        async def scenario(node, probe):
+            _poke(node, "set", delay=3 * TICK)
+            await asyncio.sleep(TICK)
+            rearmed_at = node.now
+            _poke(node, "set", delay=3 * TICK)  # pushes the deadline out
+            await asyncio.sleep(8 * TICK)
+            assert [name for _, name in probe.fired] == ["t"]  # exactly once
+            fired_at = probe.fired[0][0]
+            # Fired relative to the re-arm, not the original arming.
+            assert fired_at >= rearmed_at + 2 * TICK
+
+        asyncio.run(_with_node(scenario))
+
+    def test_rearm_shorter_fires_earlier(self):
+        async def scenario(node, probe):
+            _poke(node, "set", delay=10 * TICK)
+            _poke(node, "set", delay=TICK)
+            await asyncio.sleep(4 * TICK)
+            assert [name for _, name in probe.fired] == ["t"]
+            assert probe.fired[0][0] < 8 * TICK  # the earlier deadline won
+
+        asyncio.run(_with_node(scenario))
+
+    def test_negative_delay_rejected(self):
+        async def scenario(node, probe):
+            with pytest.raises(SchedulerError):
+                _poke(node, "set", delay=-1.0)
+            assert node.errors and isinstance(node.errors[0], SchedulerError)
+
+        asyncio.run(_with_node(scenario))
+
+
+class TestLiveCancelTimer:
+    def test_cancel_pending_suppresses_fire(self):
+        async def scenario(node, probe):
+            _poke(node, "set", delay=2 * TICK)
+            _poke(node, "cancel")
+            await asyncio.sleep(5 * TICK)
+            assert probe.fired == []
+
+        asyncio.run(_with_node(scenario))
+
+    def test_cancel_absent_is_noop(self):
+        async def scenario(node, probe):
+            _poke(node, "cancel", name="never-set")
+            await asyncio.sleep(TICK)
+            assert probe.fired == []
+            assert node.errors == []
+
+        asyncio.run(_with_node(scenario))
+
+    def test_cancel_then_set_rearms(self):
+        async def scenario(node, probe):
+            _poke(node, "set", delay=2 * TICK)
+            _poke(node, "cancel")
+            _poke(node, "set", delay=TICK)
+            await asyncio.sleep(5 * TICK)
+            assert [name for _, name in probe.fired] == ["t"]
+
+        asyncio.run(_with_node(scenario))
+
+    def test_timers_are_independent_by_name(self):
+        async def scenario(node, probe):
+            _poke(node, "set", name="a", delay=TICK)
+            _poke(node, "set", name="b", delay=2 * TICK)
+            _poke(node, "cancel", name="a")
+            await asyncio.sleep(5 * TICK)
+            assert [name for _, name in probe.fired] == ["b"]
+
+        asyncio.run(_with_node(scenario))
+
+
+class TestLiveLifecycle:
+    def test_rearm_inside_on_timer_is_periodic(self):
+        async def scenario(node, probe):
+            await asyncio.sleep(8 * TICK)
+            assert [name for _, name in probe.fired] == ["tick"] * 3
+            times = [t for t, _ in probe.fired]
+            assert times == sorted(times)
+
+        asyncio.run(_with_node(scenario, period=TICK, limit=3))
+
+    def test_stop_cancels_pending_timers(self):
+        async def scenario(node, probe):
+            _poke(node, "set", delay=2 * TICK)
+            await node.stop()
+            await asyncio.sleep(4 * TICK)
+            assert probe.fired == []
+
+        asyncio.run(_with_node(scenario))

@@ -1,0 +1,156 @@
+"""Pin the simulator's timer semantics.
+
+These are the exact semantics :class:`repro.net.node.NodeServer` must
+reproduce over ``loop.call_later`` (see ``tests/net/test_node_timers.py``,
+which mirrors every case here against the live runtime):
+
+* ``set_timer`` on a pending timer **re-arms** it — the old deadline is
+  replaced, the timer fires exactly once, at the new deadline;
+* ``cancel_timer`` of a pending timer suppresses the fire;
+* ``cancel_timer`` of an absent timer is a no-op;
+* timers with different names are independent;
+* re-arming from inside ``on_timer`` builds periodic timers;
+* negative delays are a :class:`~repro.core.errors.SchedulerError`;
+* the default ``Process.on_timer`` ignores fires.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.errors import SchedulerError
+from repro.core.process import ClientRequest, Context, Process, ProcessId
+from repro.core.runs import TimerFiredRecord
+from repro.sim.simulation import Simulation
+
+
+@dataclass(frozen=True)
+class Poke(ClientRequest):
+    """Test-only injection telling the probe to drive its timer API."""
+
+    action: str  # "set" | "cancel"
+    name: str = "t"
+    delay: float = 0.0
+
+
+class TimerProbe(Process):
+    """Records every timer fire as ``(time, name)``; optionally periodic."""
+
+    def __init__(self, pid: ProcessId, n: int, period: float = 0.0, limit: int = 0):
+        super().__init__(pid, n)
+        self.period = period
+        self.limit = limit
+        self.fired: List[Tuple[float, str]] = []
+
+    def on_start(self, ctx: Context) -> None:
+        if self.period > 0:
+            ctx.set_timer("tick", self.period)
+
+    def on_message(self, ctx: Context, sender: ProcessId, message) -> None:
+        assert isinstance(message, Poke)
+        if message.action == "set":
+            ctx.set_timer(message.name, message.delay)
+        elif message.action == "cancel":
+            ctx.cancel_timer(message.name)
+        else:  # pragma: no cover
+            raise AssertionError(message.action)
+
+    def on_timer(self, ctx: Context, name: str) -> None:
+        self.fired.append((ctx.now, name))
+        if self.period > 0 and len(self.fired) < self.limit:
+            ctx.set_timer(name, self.period)
+
+
+def _run(pokes, until=100.0, **probe_kwargs):
+    simulation = Simulation(
+        lambda pid, n: TimerProbe(pid, n, **probe_kwargs), n=1
+    )
+    for time, poke in pokes:
+        simulation.inject(time, 0, poke)
+    run = simulation.run(until=until)
+    probe: TimerProbe = simulation.processes[0]  # type: ignore[assignment]
+    return probe, run
+
+
+class TestSetTimer:
+    def test_single_set_fires_once_at_deadline(self):
+        probe, run = _run([(1.0, Poke("set", delay=4.0))])
+        assert probe.fired == [(5.0, "t")]
+        assert len(run.of_kind(TimerFiredRecord)) == 1
+
+    def test_rearm_replaces_deadline(self):
+        # Armed for t=11, re-armed at t=5 for t=15: one fire, at 15.
+        probe, _ = _run(
+            [(1.0, Poke("set", delay=10.0)), (5.0, Poke("set", delay=10.0))]
+        )
+        assert probe.fired == [(15.0, "t")]
+
+    def test_rearm_shorter_fires_earlier(self):
+        # Armed for t=10, re-armed at t=1 for t=3: the earlier deadline wins.
+        probe, _ = _run(
+            [(0.0, Poke("set", delay=10.0)), (1.0, Poke("set", delay=2.0))]
+        )
+        assert probe.fired == [(3.0, "t")]
+
+    def test_zero_delay_fires_at_now(self):
+        probe, _ = _run([(2.0, Poke("set", delay=0.0))])
+        assert probe.fired == [(2.0, "t")]
+
+    def test_negative_delay_rejected(self):
+        simulation = Simulation(lambda pid, n: TimerProbe(pid, n), n=1)
+        simulation.inject(0.0, 0, Poke("set", delay=-1.0))
+        with pytest.raises(SchedulerError):
+            simulation.run(until=10.0)
+
+
+class TestCancelTimer:
+    def test_cancel_pending_suppresses_fire(self):
+        probe, run = _run(
+            [(0.0, Poke("set", delay=5.0)), (2.0, Poke("cancel"))]
+        )
+        assert probe.fired == []
+        assert run.of_kind(TimerFiredRecord) == []
+
+    def test_cancel_absent_is_noop(self):
+        probe, _ = _run([(0.0, Poke("cancel", name="never-set"))])
+        assert probe.fired == []
+
+    def test_cancel_then_set_rearms(self):
+        probe, _ = _run(
+            [
+                (0.0, Poke("set", delay=5.0)),
+                (1.0, Poke("cancel")),
+                (2.0, Poke("set", delay=2.0)),
+            ]
+        )
+        assert probe.fired == [(4.0, "t")]
+
+    def test_timers_are_independent_by_name(self):
+        probe, _ = _run(
+            [
+                (0.0, Poke("set", name="a", delay=3.0)),
+                (0.0, Poke("set", name="b", delay=5.0)),
+                (1.0, Poke("cancel", name="a")),
+            ]
+        )
+        assert probe.fired == [(5.0, "b")]
+
+
+class TestPeriodicAndDefaults:
+    def test_rearm_inside_on_timer_is_periodic(self):
+        probe, _ = _run([], until=10.0, period=1.0, limit=3)
+        assert probe.fired == [(1.0, "tick"), (2.0, "tick"), (3.0, "tick")]
+
+    def test_default_on_timer_is_a_noop(self):
+        class Silent(Process):
+            def on_start(self, ctx: Context) -> None:
+                ctx.set_timer("quiet", 1.0)
+
+            def on_message(self, ctx, sender, message) -> None:  # pragma: no cover
+                pass
+
+        simulation = Simulation(lambda pid, n: Silent(pid, n), n=1)
+        run = simulation.run(until=5.0)
+        fired = run.of_kind(TimerFiredRecord)
+        assert [record.name for record in fired] == ["quiet"]

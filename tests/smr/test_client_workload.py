@@ -1,0 +1,87 @@
+"""The seeded workload generator and the E10 ``unfinished`` accounting.
+
+``put_get_workload`` is now shared verbatim between the simulator's E10
+harness and the live load generator (:mod:`repro.net.loadgen`), so its
+determinism is a cross-runtime contract: the same ``(count, keys,
+proxies, seed)`` must yield the identical command sequence everywhere.
+"""
+
+from typing import Iterator
+
+from repro.analysis.experiments import e10_smr_rows
+from repro.smr.client import put_get_workload
+
+
+class TestPutGetWorkload:
+    def test_same_seed_same_workload(self):
+        a = put_get_workload(30, keys=("x", "y"), proxies=[0, 1, 2], seed=4)
+        b = put_get_workload(30, keys=("x", "y"), proxies=[0, 1, 2], seed=4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = put_get_workload(30, keys=("x", "y"), proxies=[0, 1], seed=1)
+        b = put_get_workload(30, keys=("x", "y"), proxies=[0, 1], seed=2)
+        assert a != b
+
+    def test_keys_accepts_any_iterable_shape(self):
+        # The key pool is materialized once up front, so sequences that
+        # are not lists — tuples, even one-shot iterators — work and give
+        # the same stream as an equivalent list.
+        def one_shot() -> Iterator[str]:
+            yield "x"
+            yield "y"
+
+        from_list = put_get_workload(10, keys=["x", "y"], proxies=[0], seed=9)
+        from_tuple = put_get_workload(10, keys=("x", "y"), proxies=[0], seed=9)
+        from_iter = put_get_workload(10, keys=one_shot(), proxies=[0], seed=9)
+        assert from_list == from_tuple == from_iter
+
+    def test_proxy_assignment_is_round_robin(self):
+        ops = put_get_workload(6, keys=("k",), proxies=[0, 1, 2], seed=0)
+        assert [op.proxy for op in ops] == [0, 1, 2, 0, 1, 2]
+
+    def test_command_ids_are_stable(self):
+        ops = put_get_workload(3, keys=("k",), proxies=[0], seed=0)
+        assert [op.command.command_id for op in ops] == [
+            "cmd-0",
+            "cmd-1",
+            "cmd-2",
+        ]
+
+
+class TestUnfinishedAccounting:
+    def test_truncated_run_surfaces_unfinished_commands(self):
+        from repro.omega import static_omega_factory
+        from repro.smr.client import run_kv_workload
+        from repro.smr.log import smr_factory
+
+        ops = put_get_workload(8, keys=("k",), proxies=[0, 1, 2], seed=0)
+        # Cut the run off before the later commands can commit.
+        outcome = run_kv_workload(
+            smr_factory(1, 1, omega_factory=static_omega_factory(0)),
+            n=3,
+            ops=ops,
+            until=5.0,
+        )
+        assert outcome.unfinished
+        finished = set(outcome.commit_latency)
+        assert finished.isdisjoint(outcome.unfinished)
+        assert finished | set(outcome.unfinished) == {
+            op.command.command_id for op in ops
+        }
+
+
+class TestE10Unfinished:
+    def test_completed_run_reports_zero_unfinished(self):
+        rows = e10_smr_rows(f=1, e=1, commands=6, use_wan=False)
+        assert all("unfinished" in row for row in rows)
+        assert all(row["unfinished"] == 0 for row in rows)
+        total = next(row for row in rows if row["proxy"] == "ALL")
+        assert total["commands"] == 6
+
+    def test_per_proxy_unfinished_sums_to_total(self):
+        rows = e10_smr_rows(f=1, e=1, commands=9, use_wan=False)
+        total = next(row for row in rows if row["proxy"] == "ALL")
+        per_proxy = [row for row in rows if row["proxy"] != "ALL"]
+        assert sum(row["unfinished"] for row in per_proxy) == total["unfinished"]
+        assert sum(row["commands"] for row in per_proxy) == total["commands"]
