@@ -248,7 +248,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0
 
 
-def _smr_net_factory(f: int, e: int, delta: float):
+def _smr_net_factory(
+    f: int, e: int, delta: float, batch: int = 1, window: int = 1
+):
     """SMR factory for live clusters: Figure 1 object variant, Ω = 0."""
     from .omega import static_omega_factory
     from .protocols.twostep import TwoStepConfig
@@ -260,6 +262,8 @@ def _smr_net_factory(f: int, e: int, delta: float):
         delta=delta,
         omega_factory=static_omega_factory(0),
         consensus_config=TwoStepConfig(f=f, e=e, delta=delta, is_object=True),
+        batch_size=batch,
+        window=window,
     )
 
 
@@ -270,7 +274,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from .net.client import parse_address_list
     from .net.node import KVService
 
-    factory = _smr_net_factory(args.f, args.e, args.delta)
+    factory = _smr_net_factory(
+        args.f, args.e, args.delta, batch=args.batch, window=args.window
+    )
 
     if args.node is not None:
         # One real node of a multi-process deployment.
@@ -326,6 +332,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
+    import pathlib
+    import time
 
     from .net.client import parse_address_list
     from .net.loadgen import run_loadgen
@@ -339,10 +347,30 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             put_fraction=args.put_fraction,
             seed=args.seed,
             timeout=args.timeout,
+            pipeline=args.pipeline,
+            pin_proxy=None if args.pin_proxy < 0 else args.pin_proxy,
         )
     )
+    payload = {
+        "loadgen": report.to_record(),
+        "errors": report.errors[:10],
+        "config": {
+            "clients": args.clients,
+            "count": args.count,
+            "pipeline": args.pipeline,
+            "pin_proxy": args.pin_proxy,
+            "put_fraction": args.put_fraction,
+            "seed": args.seed,
+        },
+        "unix_time": round(time.time(), 3),
+    }
+    if args.record is not None:
+        path = pathlib.Path(args.record)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+        print(f"run record written to {path}", file=sys.stderr)
     if args.json:
-        _emit_json({"loadgen": report.to_record(), "errors": report.errors[:10]})
+        _emit_json(payload)
     else:
         print(report.describe())
         print(f"metrics: {report.metrics.describe()}")
@@ -433,6 +461,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--delta", type=float, default=0.1, help="Δ in real seconds (default 0.1)"
     )
     cluster.add_argument(
+        "--batch",
+        type=int,
+        default=16,
+        help="max commands per consensus slot (default 16; 1 = no batching)",
+    )
+    cluster.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="max concurrently open slots per proxy (default 8; 1 = serial)",
+    )
+    cluster.add_argument(
         "--base-port",
         type=int,
         default=9400,
@@ -474,7 +514,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=5.0, help="per-attempt reply timeout"
     )
     loadgen.add_argument(
+        "--pipeline",
+        type=int,
+        default=1,
+        help="outstanding commands per connection (default 1 = closed loop)",
+    )
+    loadgen.add_argument(
+        "--pin-proxy",
+        type=int,
+        default=0,
+        help="proxy all pipelined workers target (default 0, the Ω leader; "
+        "-1 spreads workers round-robin; ignored when --pipeline 1, where "
+        "each op keeps its workload-assigned proxy)",
+    )
+    loadgen.add_argument(
         "--json", action="store_true", help="emit machine-readable records"
+    )
+    loadgen.add_argument(
+        "--record",
+        nargs="?",
+        const="benchmarks/results/loadgen_last.json",
+        default=None,
+        metavar="PATH",
+        help="persist the machine-readable run record to PATH "
+        "(default benchmarks/results/loadgen_last.json)",
     )
     loadgen.set_defaults(fn=_cmd_loadgen)
     return parser

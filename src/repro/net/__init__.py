@@ -32,7 +32,14 @@ from .codec import (
     default_registry,
 )
 from .loadgen import LoadReport, run_loadgen
-from .node import Address, ClientService, KVService, NodeServer, start_node
+from .node import (
+    Address,
+    ClientService,
+    KVService,
+    NodeServer,
+    enable_nodelay,
+    start_node,
+)
 from .wire import ClientHello, ClientReply, ClientSubmit, NodeHello
 
 __all__ = [
@@ -54,6 +61,7 @@ __all__ = [
     "NodeServer",
     "WIRE_VERSION",
     "default_registry",
+    "enable_nodelay",
     "parse_address_list",
     "run_cluster",
     "run_loadgen",

@@ -15,18 +15,26 @@ Failure handling follows the standard closed-loop client recipe:
   its address book and retries after exponential backoff;
 * replies are matched by ``command_id`` rather than ``request_id`` so a
   late reply to an earlier attempt of the same command still completes it.
+
+:meth:`KVClient.run_pipelined` adds the open-loop mode: up to ``window``
+commands outstanding on one connection, submits coalesced into single
+writes, replies matched by ``command_id`` as they stream back. On a
+timeout or connection error the whole outstanding window fails over and is
+re-submitted — idempotence-by-id makes that safe, and replies for
+superseded attempts are dropped on the floor.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import ReproError
 from ..smr.kvstore import KVCommand
 from .codec import CodecError, MessageCodec, read_frame
-from .node import Address
+from .node import Address, enable_nodelay
 from .wire import ClientHello, ClientReply, ClientSubmit
 
 
@@ -77,6 +85,7 @@ class KVClient:
             return
         host, port = self.addresses[self.proxy]
         self._reader, self._writer = await asyncio.open_connection(host, port)
+        enable_nodelay(self._writer)
         self._writer.write(self.codec.encode(ClientHello(self.client_id)))
         await self._writer.drain()
 
@@ -162,6 +171,108 @@ class KVClient:
             if isinstance(message, ClientReply) and message.command_id == command_id:
                 return message
             # Replies to superseded attempts of other commands are dropped.
+
+    # ------------------------------------------------------------------
+    # The pipelined (open-loop) request path.
+    # ------------------------------------------------------------------
+
+    async def run_pipelined(
+        self,
+        commands: Sequence[KVCommand],
+        window: int = 16,
+        proxy: Optional[int] = None,
+        on_reply: Optional[Callable[[ClientReply, float], None]] = None,
+    ) -> Dict[str, ClientReply]:
+        """Drive *commands* with up to *window* outstanding at once.
+
+        Returns replies keyed by ``command_id``. ``on_reply`` fires per
+        completion with the reply and the client-observed latency of the
+        completing attempt (seconds). Failures rotate proxies and
+        re-submit everything not yet completed; after ``max_attempts``
+        rounds a :class:`ClientError` reports how much is left.
+        """
+        if window < 1:
+            raise ClientError(f"pipeline window must be >= 1, got {window}")
+        pending: Dict[str, KVCommand] = {}
+        for command in commands:
+            if not command.command_id:
+                raise ClientError("pipelined commands need a unique command_id")
+            pending[command.command_id] = command
+        replies: Dict[str, ClientReply] = {}
+        if not pending:
+            return replies
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            if proxy is not None and attempt == 0:
+                preferred = proxy % len(self.addresses)
+                if preferred != self.proxy and self._alive(preferred):
+                    await self.close()
+                    self.proxy = preferred
+            try:
+                await self._ensure_connected()
+                await self._pipeline_attempt(pending, replies, window, on_reply)
+                return replies
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                CodecError,
+                OSError,
+            ) as exc:
+                last_error = exc
+                await self.close()
+                self._fail_over()
+                await asyncio.sleep(
+                    min(self.backoff_initial * (2 ** attempt), self.backoff_max)
+                )
+        raise ClientError(
+            f"{len(pending)} of {len(pending) + len(replies)} pipelined commands "
+            f"incomplete after {self.max_attempts} attempts: {last_error!r}"
+        )
+
+    async def _pipeline_attempt(
+        self,
+        pending: Dict[str, KVCommand],
+        replies: Dict[str, ClientReply],
+        window: int,
+        on_reply: Optional[Callable[[ClientReply, float], None]],
+    ) -> None:
+        """One connection's worth of open-loop submission."""
+        assert self._reader is not None and self._writer is not None
+        reader, writer = self._reader, self._writer
+        to_send = deque(pending.values())
+        sent_at: Dict[str, float] = {}
+        outstanding = 0
+        while pending:
+            if to_send and outstanding < window:
+                frames: List[bytes] = []
+                now = time.perf_counter()
+                while to_send and outstanding < window:
+                    command = to_send.popleft()
+                    request_id = f"{self.client_id}:{self._seq}"
+                    self._seq += 1
+                    frames.append(
+                        self.codec.encode(ClientSubmit(request_id, command))
+                    )
+                    sent_at[command.command_id] = now
+                    outstanding += 1
+                writer.write(b"".join(frames))
+                await writer.drain()
+            message = await asyncio.wait_for(
+                read_frame(reader, self.codec), self.timeout
+            )
+            if not isinstance(message, ClientReply):
+                continue
+            command = pending.pop(message.command_id, None)
+            if command is None:
+                continue  # reply to a superseded attempt; already completed
+            outstanding -= 1
+            replies[message.command_id] = message
+            if on_reply is not None:
+                elapsed = time.perf_counter() - sent_at.get(
+                    message.command_id, time.perf_counter()
+                )
+                on_reply(message, elapsed)
 
     # ------------------------------------------------------------------
     # Convenience operations.

@@ -140,7 +140,7 @@ def default_registry() -> MessageRegistry:
     from ..protocols import twostep as _twostep  # noqa: F401
     from ..protocols.epaxos import messages as _epaxos_messages
     from ..smr import log as _smr_log  # noqa: F401
-    from ..smr.kvstore import KVCommand
+    from ..smr.kvstore import CommandBatch, KVCommand
     from . import wire as _wire  # noqa: F401
 
     registry = MessageRegistry()
@@ -151,6 +151,7 @@ def default_registry() -> MessageRegistry:
         registry.register(cls)
     # Payload structs carried inside messages (not messages themselves).
     registry.register(KVCommand)
+    registry.register(CommandBatch)
     registry.register(_epaxos_messages.Command, name="EPaxosCommand")
     return registry
 

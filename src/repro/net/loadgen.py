@@ -1,13 +1,24 @@
-"""Closed-loop load generator for the live cluster.
+"""Load generator for the live cluster: closed-loop and pipelined modes.
 
-Spawns *N* concurrent :class:`~repro.net.client.KVClient` sessions, each
-driving its share of a workload one command at a time (closed loop:
-submit, wait for the reply, submit the next). The workload is produced by
-the *same* seeded generator the simulator uses —
+The default mode spawns *N* concurrent :class:`~repro.net.client.KVClient`
+sessions, each driving its share of a workload one command at a time
+(closed loop: submit, wait for the reply, submit the next). The workload
+is produced by the *same* seeded generator the simulator uses —
 :func:`repro.smr.client.put_get_workload` — so a live run and an E10
 simulation of the same ``(count, keys, seed)`` execute the identical
 command sequence against the identical proxy assignment, making their
 latency tables directly comparable.
+
+``pipeline > 1`` switches to the open-loop mode that can actually
+saturate a batching cluster: each worker keeps that many commands
+outstanding on one connection (:meth:`KVClient.run_pipelined`). Pipelined
+workers pin to ``pin_proxy`` (default proxy 0, the static Ω leader)
+instead of honouring per-op proxy assignments: funnelling the open-loop
+firehose through one proxy keeps consensus slots uncontended — under the
+object variant's red conjunct, saturated *distinct* proxies racing the
+same slot all refuse each other's values and stall on the 2Δ ballot
+timer. Pass ``pin_proxy=None`` to spread workers round-robin across
+proxies and measure exactly that collision regime.
 
 Reports reuse the :mod:`repro.verify.metrics` layer (``kind="loadgen"``,
 one unit = one completed command) for throughput, and
@@ -50,6 +61,7 @@ class LoadReport:
     client_latency: Optional[Summary]
     results: Dict[str, Any] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
+    pipeline: int = 1
 
     @property
     def throughput(self) -> float:
@@ -79,6 +91,7 @@ class LoadReport:
             "completed": self.completed,
             "failed": self.failed,
             "duplicates": self.duplicates,
+            "pipeline": self.pipeline,
             "wall_seconds": round(self.wall_seconds, 4),
             "throughput_per_sec": round(self.throughput, 1),
         }
@@ -106,16 +119,23 @@ async def run_loadgen(
     codec: Optional[MessageCodec] = None,
     client_id_prefix: str = "lg",
     ops: Optional[Sequence[ClientOp]] = None,
+    pipeline: int = 1,
+    pin_proxy: Optional[int] = 0,
 ) -> LoadReport:
     """Drive *count* commands through the cluster at *addresses*.
 
     The command sequence and proxy assignment come from
     :func:`put_get_workload` with the given seed (or pass explicit *ops*);
-    commands are dealt round-robin to *clients* concurrent closed-loop
-    sessions, each pinned to the op's designated proxy with failover.
+    commands are dealt round-robin to *clients* concurrent sessions. With
+    ``pipeline == 1`` (default) each session runs closed-loop, pinned to
+    the op's designated proxy with failover; with ``pipeline > 1`` each
+    session keeps that many commands outstanding on one connection, pinned
+    to ``pin_proxy`` (or spread round-robin when ``pin_proxy is None``).
     """
     if clients < 1:
         raise ConfigurationError(f"need at least one client, got {clients}")
+    if pipeline < 1:
+        raise ConfigurationError(f"pipeline depth must be >= 1, got {pipeline}")
     shared_codec = codec if codec is not None else MessageCodec()
     if ops is None:
         ops = put_get_workload(
@@ -130,7 +150,13 @@ async def run_loadgen(
     completions: List[Tuple[str, Any, float, float, bool]] = []
     errors: List[str] = []
 
-    async def worker(index: int, share: List[ClientOp]) -> None:
+    def record(command_id, reply, elapsed) -> None:
+        recorder.units += 1
+        completions.append(
+            (command_id, reply.result, reply.commit_seconds, elapsed, reply.duplicate)
+        )
+
+    async def closed_loop_worker(index: int, share: List[ClientOp]) -> None:
         client = KVClient(
             addresses,
             client_id=f"{client_id_prefix}-{index}",
@@ -146,20 +172,34 @@ async def run_loadgen(
                 except ClientError as exc:
                     errors.append(str(exc))
                     continue
-                elapsed = time.perf_counter() - begin
-                recorder.units += 1
-                completions.append(
-                    (
-                        op.command.command_id,
-                        reply.result,
-                        reply.commit_seconds,
-                        elapsed,
-                        reply.duplicate,
-                    )
-                )
+                record(op.command.command_id, reply, time.perf_counter() - begin)
         finally:
             await client.close()
 
+    async def pipelined_worker(index: int, share: List[ClientOp]) -> None:
+        client = KVClient(
+            addresses,
+            client_id=f"{client_id_prefix}-{index}",
+            codec=shared_codec,
+            timeout=timeout,
+            max_attempts=max_attempts,
+        )
+        proxy = pin_proxy if pin_proxy is not None else index % len(addresses)
+        try:
+            await client.run_pipelined(
+                [op.command for op in share],
+                window=pipeline,
+                proxy=proxy,
+                on_reply=lambda reply, elapsed: record(
+                    reply.command_id, reply, elapsed
+                ),
+            )
+        except ClientError as exc:
+            errors.append(str(exc))
+        finally:
+            await client.close()
+
+    worker = closed_loop_worker if pipeline == 1 else pipelined_worker
     started = time.perf_counter()
     await asyncio.gather(
         *(worker(index, share) for index, share in enumerate(shares))
@@ -171,7 +211,7 @@ async def run_loadgen(
     return LoadReport(
         commands=len(ops),
         completed=len(completions),
-        failed=len(errors),
+        failed=len(ops) - len(completions),
         duplicates=sum(1 for c in completions if c[4]),
         wall_seconds=wall,
         metrics=recorder.finish(workers=clients, wall_seconds=wall),
@@ -179,4 +219,5 @@ async def run_loadgen(
         client_latency=summarize(client_samples),
         results={c[0]: c[1] for c in completions if not c[4]},
         errors=errors,
+        pipeline=pipeline,
     )

@@ -5,13 +5,17 @@ A :class:`NodeServer` hosts exactly one unmodified
 discrete-event simulator runs — and adapts its :class:`Context` onto real
 transports:
 
-* ``send``/``broadcast`` enqueue onto a per-peer outbound queue drained by
-  a dedicated sender task that owns the ``i → j`` TCP connection, dials
-  lazily, and reconnects with exponential backoff. The frame being sent
-  when a connection drops stays at the head of the queue and is re-sent on
-  reconnect, so links are reliable up to crash-stop (duplicates are
-  possible after a reconnect; every protocol here tracks votes in sets, so
-  re-delivery is harmless).
+* ``send``/``broadcast`` encode the message **once** and enqueue the
+  ready-made frame onto per-peer outbound queues drained by dedicated
+  sender tasks that own the ``i → j`` TCP connection, dial lazily, and
+  reconnect with exponential backoff. A sender flushes its whole queued
+  burst with a single ``drain()`` and pops frames only after the drain
+  succeeds, so the burst in flight when a connection drops is re-sent on
+  reconnect — links are reliable up to crash-stop (duplicates are possible
+  after a reconnect; every protocol here tracks votes in sets, so
+  re-delivery is harmless). All sockets set ``TCP_NODELAY``: the protocol
+  exchanges many small frames, which Nagle's algorithm would serialize
+  into round-trip-sized stalls.
 * ``set_timer``/``cancel_timer`` map onto ``loop.call_later`` with the
   exact generation-counter semantics of the simulator (re-arming replaces
   the earlier deadline, cancelling a non-pending timer is a no-op, stale
@@ -35,8 +39,10 @@ and answering once the replica applied the command.
 from __future__ import annotations
 
 import asyncio
+import socket
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from itertools import islice
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import ConfigurationError, ProtocolError, SchedulerError
 from ..core.messages import Message
@@ -48,6 +54,17 @@ from .wire import ClientHello, ClientReply, ClientSubmit, NodeHello
 
 #: (host, port) pairs, indexed by pid.
 Address = Tuple[str, int]
+
+
+def enable_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Set ``TCP_NODELAY`` on *writer*'s socket (no-op off-TCP)."""
+    sock = writer.get_extra_info("socket")
+    if sock is None:
+        return
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except (OSError, ValueError):
+        pass  # not a TCP socket (unix pipe in tests); nothing to disable
 
 
 class _NodeContext(Context):
@@ -70,6 +87,9 @@ class _NodeContext(Context):
 
     def send(self, dst: ProcessId, message: Message) -> None:
         self._node._send(dst, message)
+
+    def broadcast(self, message: Message, include_self: bool = False) -> None:
+        self._node._broadcast(message, include_self)
 
     def set_timer(self, name: str, delay: float) -> None:
         self._node._set_timer(name, delay)
@@ -210,10 +230,12 @@ class NodeServer:
         self._t0 = 0.0
         self._timer_generation: Dict[str, int] = {}
         self._timer_handles: Dict[str, asyncio.TimerHandle] = {}
-        self._outbox: Dict[ProcessId, Deque[Message]] = {}
+        # Outboxes hold encoded frames: a broadcast encodes once and the
+        # same bytes object is queued for every peer.
+        self._outbox: Dict[ProcessId, Deque[bytes]] = {}
         self._outbox_wake: Dict[ProcessId, asyncio.Event] = {}
         self._tasks: List[asyncio.Task] = []
-        self._writers: List[asyncio.StreamWriter] = []
+        self._writers: Set[asyncio.StreamWriter] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -277,9 +299,10 @@ class NodeServer:
             except (asyncio.CancelledError, Exception):
                 pass
         self._tasks.clear()
-        for writer in self._writers:
+        for writer in list(self._writers):
             try:
-                writer.close()
+                if not writer.is_closing():
+                    writer.close()
             except Exception:
                 pass
         self._writers.clear()
@@ -316,7 +339,20 @@ class NodeServer:
             # the simulator where a self-send goes through the event queue.
             asyncio.get_event_loop().call_soon(self._deliver_self, message)
             return
-        self._outbox[dst].append(message)
+        self._enqueue(dst, self.codec.encode(message))
+
+    def _broadcast(self, message: Message, include_self: bool) -> None:
+        """Encode once, enqueue the same frame for every peer."""
+        frame = self.codec.encode(message)
+        for dst in range(self.n):
+            if dst == self.pid:
+                continue
+            self._enqueue(dst, frame)
+        if include_self:
+            asyncio.get_event_loop().call_soon(self._deliver_self, message)
+
+    def _enqueue(self, dst: ProcessId, frame: bytes) -> None:
+        self._outbox[dst].append(frame)
         self._outbox_wake[dst].set()
 
     def _deliver_self(self, message: Message) -> None:
@@ -382,6 +418,7 @@ class NodeServer:
                 backoff = min(backoff * 2, self.reconnect_max)
                 continue
             try:
+                enable_nodelay(writer)
                 writer.write(self.codec.encode(NodeHello(self.pid)))
                 await writer.drain()
                 backoff = self.reconnect_initial
@@ -389,11 +426,15 @@ class NodeServer:
                     while not queue:
                         wake.clear()
                         await wake.wait()
-                    # Pop only after a successful drain: the head frame is
-                    # re-sent if the connection dies mid-write.
-                    writer.write(self.codec.encode(queue[0]))
+                    # Flush the whole queued burst with one drain(); pop
+                    # only after it succeeds, so everything written when a
+                    # connection dies is re-sent on reconnect. Frames
+                    # queued during the await are left for the next burst.
+                    burst = len(queue)
+                    writer.write(b"".join(islice(queue, burst)))
                     await writer.drain()
-                    queue.popleft()
+                    for _ in range(burst):
+                        queue.popleft()
             except (ConnectionError, OSError):
                 continue
             finally:
@@ -409,7 +450,8 @@ class NodeServer:
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self._writers.append(writer)
+        self._writers.add(writer)
+        enable_nodelay(writer)
         try:
             try:
                 hello = await read_frame(reader, self.codec)
@@ -421,12 +463,12 @@ class NodeServer:
                 await self._serve_client(reader, writer)
             # Anything else: close silently (port scanners, bad handshakes).
         finally:
+            self._writers.discard(writer)
             try:
-                writer.close()
+                if not writer.is_closing():
+                    writer.close()
             except Exception:
                 pass
-            if writer in self._writers:
-                self._writers.remove(writer)
 
     async def _serve_peer(self, reader: asyncio.StreamReader, sender: ProcessId) -> None:
         while not self._crashed:
@@ -462,8 +504,12 @@ class NodeServer:
         self, replies: "asyncio.Queue[ClientReply]", writer: asyncio.StreamWriter
     ) -> None:
         while True:
-            reply = await replies.get()
-            writer.write(self.codec.encode(reply))
+            batch = [await replies.get()]
+            # Coalesce every reply already queued into one write + drain;
+            # pipelined clients complete many commands per activation.
+            while not replies.empty():
+                batch.append(replies.get_nowait())
+            writer.write(b"".join(self.codec.encode(reply) for reply in batch))
             await writer.drain()
 
 

@@ -7,22 +7,32 @@ from .client import (
     put_get_workload,
     run_kv_workload,
 )
-from .kvstore import KVCommand, KVStore, NOOP_COMMAND
+from .kvstore import (
+    CommandBatch,
+    KVCommand,
+    KVStore,
+    NOOP_COMMAND,
+    SlotValue,
+    commands_in,
+)
 from .leader_log import MultiPaxosReplica, multipaxos_factory
 from .log import GAP_TIMER, SMRReplica, Slotted, SubmitCommand, smr_factory
 
 __all__ = [
     "ClientOp",
+    "CommandBatch",
     "GAP_TIMER",
     "KVCommand",
     "MultiPaxosReplica",
     "KVStore",
     "NOOP_COMMAND",
     "SMRReplica",
+    "SlotValue",
     "Slotted",
     "SubmitCommand",
     "WorkloadOutcome",
     "check_logs_consistent",
+    "commands_in",
     "multipaxos_factory",
     "put_get_workload",
     "run_kv_workload",

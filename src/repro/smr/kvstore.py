@@ -10,7 +10,7 @@ layer suppresses duplicate application when a command wins several slots
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,85 @@ class KVCommand:
 
 #: Slot filler decided when a proxy must flush a slot without a command.
 NOOP_COMMAND = KVCommand(op="noop", key="", command_id="__noop__")
+
+
+@dataclass(frozen=True)
+class CommandBatch:
+    """Many client commands riding one consensus slot.
+
+    Batching lives strictly *above* the per-slot protocol: a batch is just
+    a proposal value, so Figure 1 runs unchanged — it needs values to be
+    totally ordered and hashable, which the batch provides by delegating
+    to its members' :meth:`KVCommand.sort_key`. Members apply in batch
+    order, and the store's idempotence-by-id still suppresses a command
+    that rides two batches (a proxy re-batches after losing a slot race).
+
+    ``batch_id`` gives the batch the same ``command_id``-shaped identity a
+    bare command has, so slot-level bookkeeping (the log consistency
+    checker, noop filtering) works on mixed logs. Ties on the comparison
+    key cannot happen across distinct batches because member command ids
+    are unique per submission.
+    """
+
+    commands: Tuple[KVCommand, ...]
+    batch_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.commands:
+            raise ValueError("a CommandBatch needs at least one command")
+
+    @property
+    def command_id(self) -> str:
+        return self.batch_id
+
+    def _cmp_key(self) -> Tuple[Tuple[Tuple[str, str, str, str], ...], str]:
+        return (tuple(c.sort_key() for c in self.commands), self.batch_id)
+
+    @staticmethod
+    def _coerce(other: object):
+        """Comparison key for anything a batch can race against in a slot."""
+        if isinstance(other, CommandBatch):
+            return other._cmp_key()
+        if isinstance(other, KVCommand):
+            # A bare command (legacy proposal or gap-repair noop) orders
+            # like the singleton batch of itself.
+            return ((other.sort_key(),), other.command_id)
+        return None
+
+    def __lt__(self, other: object) -> bool:
+        key = self._coerce(other)
+        if key is None:
+            return NotImplemented  # lets BOTTOM's reflected comparison apply
+        return self._cmp_key() < key
+
+    def __le__(self, other: object) -> bool:
+        key = self._coerce(other)
+        if key is None:
+            return NotImplemented
+        return self._cmp_key() <= key
+
+    def __gt__(self, other: object) -> bool:
+        key = self._coerce(other)
+        if key is None:
+            return NotImplemented
+        return self._cmp_key() > key
+
+    def __ge__(self, other: object) -> bool:
+        key = self._coerce(other)
+        if key is None:
+            return NotImplemented
+        return self._cmp_key() >= key
+
+
+#: Anything a slot can decide: one command or a batch of them.
+SlotValue = Union[KVCommand, CommandBatch]
+
+
+def commands_in(value: SlotValue) -> Tuple[KVCommand, ...]:
+    """The commands carried by a decided slot value, in apply order."""
+    if isinstance(value, CommandBatch):
+        return value.commands
+    return (value,)
 
 
 class KVStore:

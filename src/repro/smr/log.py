@@ -18,6 +18,19 @@ Decided slots apply to the :class:`~repro.smr.kvstore.KVStore` in slot
 order with duplicate suppression. A periodic gap-repair task lets the Ω
 leader flush stuck slots with no-ops, so a crashed proxy cannot stall the
 log.
+
+Throughput lives strictly above the per-slot protocol, behind two knobs:
+
+* ``batch_size`` — a proxy proposes a :class:`~repro.smr.kvstore.CommandBatch`
+  of up to that many queued commands per slot (members apply in batch
+  order; a command that rides two batches after a lost slot race is
+  suppressed by the store's idempotence-by-id);
+* ``window`` — up to that many of the proxy's slots may be undecided at
+  once, replacing the one-in-flight discipline (decided slots still apply
+  strictly in slot order).
+
+Both default to 1, which reproduces the original behaviour bit-exactly —
+bare :class:`KVCommand` proposals, one slot in flight.
 """
 
 from __future__ import annotations
@@ -32,7 +45,14 @@ from ..core.process import ClientRequest, Context, Process, ProcessFactory, Proc
 from ..core.values import BOTTOM, is_bottom
 from ..omega import OmegaFactory, OmegaService, StaticOmega
 from ..protocols.twostep import TwoStepConfig, TwoStepProcess
-from .kvstore import KVCommand, KVStore, NOOP_COMMAND
+from .kvstore import (
+    CommandBatch,
+    KVCommand,
+    KVStore,
+    NOOP_COMMAND,
+    SlotValue,
+    commands_in,
+)
 
 GAP_TIMER = "smr:gap"
 SLOT_TIMER_PREFIX = "slot:"
@@ -113,6 +133,8 @@ class SMRReplica(Process):
         delta: float = 1.0,
         omega: Optional[OmegaService] = None,
         consensus_config: Optional[TwoStepConfig] = None,
+        batch_size: int = 1,
+        window: int = 1,
     ) -> None:
         super().__init__(pid, n)
         base = consensus_config if consensus_config is not None else TwoStepConfig(
@@ -121,16 +143,23 @@ class SMRReplica(Process):
         if not base.is_object:
             raise ConfigurationError("SMR runs over the consensus object variant")
         base.validate(n)
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
         self.config = base
         self.f = f
         self.e = e
         self.delta = delta
+        self.batch_size = batch_size
+        self.window = window
         self.omega = omega if omega is not None else StaticOmega(0)
 
         self._slots: Dict[int, TwoStepProcess] = {}
-        self._inflight: Dict[int, KVCommand] = {}  # my proposal per slot
+        self._inflight: Dict[int, SlotValue] = {}  # my proposal per slot
         self._queue: Deque[KVCommand] = deque()
-        self.decided: Dict[int, KVCommand] = {}
+        self._batch_seq = 0  # deterministic per-proxy batch naming
+        self.decided: Dict[int, SlotValue] = {}
         self.decide_times: Dict[int, float] = {}
         self.store = KVStore()
         self.applied_upto = 0  # next slot index awaiting application
@@ -181,24 +210,41 @@ class SMRReplica(Process):
         self._try_propose(ctx)
 
     def _try_propose(self, ctx: Context) -> None:
-        # One command in flight at a time per proxy: a simple, common
-        # discipline that keeps slot races bounded.
-        if any(slot not in self.decided for slot in self._inflight):
-            return
+        # Up to ``window`` of my slots may be undecided at once (the
+        # original one-in-flight discipline is window=1); each proposal
+        # carries up to ``batch_size`` queued commands.
         while self._queue:
-            command = self._queue[0]
-            if command.command_id in self.commit_times:
-                self._queue.popleft()  # already decided via another slot
-                continue
-            slot = self._find_free_slot()
-            if slot is None:
+            open_slots = sum(1 for slot in self._inflight if slot not in self.decided)
+            if open_slots >= self.window:
                 return
+            picked: list = []
+            while self._queue and len(picked) < self.batch_size:
+                command = self._queue.popleft()
+                if command.command_id in self.commit_times:
+                    continue  # already decided via another slot
+                picked.append(command)
+            if not picked:
+                return
+            value: SlotValue
+            if self.batch_size == 1:
+                # Bare commands keep single-command logs (and the wire)
+                # identical to the pre-batching behaviour.
+                value = picked[0]
+            else:
+                value = CommandBatch(
+                    tuple(picked), batch_id=f"__batch:{self.pid}:{self._batch_seq}__"
+                )
+                self._batch_seq += 1
+            slot = self._find_free_slot()
             inner = self._slot(ctx, slot)
-            inner.propose(_SlotContext(ctx, self, slot), command)
-            if inner.initial_val == command:
-                self._queue.popleft()
-                self._inflight[slot] = command
-            return
+            inner.propose(_SlotContext(ctx, self, slot), value)
+            if inner.initial_val == value:
+                self._inflight[slot] = value
+            else:
+                # Refused (slot already voted); retry on the next decide.
+                for command in reversed(picked):
+                    self._queue.appendleft(command)
+                return
 
     def _find_free_slot(self) -> Optional[int]:
         slot = self.applied_upto
@@ -231,25 +277,28 @@ class SMRReplica(Process):
     def _on_slot_decided(self, ctx: Context, slot: int, value) -> None:
         if slot in self.decided:
             return
-        command: KVCommand = value
-        self.decided[slot] = command
+        decided: SlotValue = value
+        self.decided[slot] = decided
         self.decide_times[slot] = ctx.now
-        if command.command_id:
-            self.commit_times.setdefault(command.command_id, ctx.now)
-        mine = self._inflight.get(slot)
-        if mine is not None and mine != command and mine.command_id not in self.commit_times:
-            # Lost the slot race: put my command back at the front.
-            self._queue.appendleft(mine)
-        self._inflight.pop(slot, None)
+        for command in commands_in(decided):
+            if command.command_id:
+                self.commit_times.setdefault(command.command_id, ctx.now)
+        mine = self._inflight.pop(slot, None)
+        if mine is not None and mine != decided:
+            # Lost the slot race: put my uncommitted commands back at the
+            # front, preserving their submission order.
+            for command in reversed(commands_in(mine)):
+                if command.command_id not in self.commit_times:
+                    self._queue.appendleft(command)
         self._apply_ready(ctx)
         self._try_propose(ctx)
 
     def _apply_ready(self, ctx: Context) -> None:
         while self.applied_upto in self.decided:
-            command = self.decided[self.applied_upto]
-            result = self.store.apply(command)
-            if command.command_id in self.submissions:
-                self.results.setdefault(command.command_id, (result, ctx.now))
+            for command in commands_in(self.decided[self.applied_upto]):
+                result = self.store.apply(command)
+                if command.command_id in self.submissions:
+                    self.results.setdefault(command.command_id, (result, ctx.now))
             self.applied_upto += 1
 
     # ------------------------------------------------------------------
@@ -285,7 +334,7 @@ class SMRReplica(Process):
     # Introspection.
     # ------------------------------------------------------------------
 
-    def committed_log(self) -> Dict[int, KVCommand]:
+    def committed_log(self) -> Dict[int, SlotValue]:
         return dict(self.decided)
 
     def commit_latency(self, command_id: str) -> Optional[float]:
@@ -301,6 +350,8 @@ def smr_factory(
     delta: float = 1.0,
     omega_factory: Optional[OmegaFactory] = None,
     consensus_config: Optional[TwoStepConfig] = None,
+    batch_size: int = 1,
+    window: int = 1,
 ) -> ProcessFactory:
     """Factory for a replicated KV service over Figure 1 (object variant)."""
 
@@ -314,6 +365,8 @@ def smr_factory(
             delta=delta,
             omega=omega,
             consensus_config=consensus_config,
+            batch_size=batch_size,
+            window=window,
         )
 
     return build

@@ -24,7 +24,7 @@ from repro.net.codec import (
 )
 from repro.net.wire import ClientReply, NodeHello
 from repro.protocols.twostep import OneB, Propose, TwoB
-from repro.smr.kvstore import KVCommand
+from repro.smr.kvstore import CommandBatch, KVCommand
 from repro.smr.log import Slotted, SubmitCommand
 
 CODEC = MessageCodec()
@@ -65,6 +65,11 @@ _kv_command = st.builds(
     value=_any_value,
     expected=_any_value,
     command_id=_text,
+)
+_command_batch = st.builds(
+    CommandBatch,
+    commands=st.lists(_kv_command, min_size=1, max_size=3).map(tuple),
+    batch_id=_text,
 )
 
 
@@ -127,6 +132,8 @@ def _strategy_for_type(cls) -> st.SearchStrategy:
         return _epaxos_command()
     if cls is KVCommand:
         return _kv_command
+    if cls is CommandBatch:
+        return _command_batch
     fields = dataclasses.fields(cls)
     if not fields:
         return st.just(cls())

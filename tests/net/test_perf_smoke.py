@@ -1,0 +1,65 @@
+"""Perf smoke: the batched/pipelined path stays an order faster than PR 2.
+
+CI-grade guard for the throughput path: a pipelined load generator
+against a 3-node batching ``LocalCluster`` must clear a deliberately
+generous throughput floor (~1/8 of what an idle dev machine measures in
+``benchmarks/bench_net.py``) with zero failures. The goal is to catch a
+path regression that silently serializes the pipeline — not to measure;
+the benchmark owns the real numbers. Every scenario carries its own hard
+``asyncio`` timeout so a wedged cluster fails fast instead of hanging CI.
+"""
+
+import asyncio
+
+from repro.net.cluster import LocalCluster
+from repro.net.loadgen import run_loadgen
+from repro.omega import static_omega_factory
+from repro.protocols.twostep import TwoStepConfig
+from repro.smr import check_logs_consistent
+from repro.smr.log import smr_factory
+
+HARD_TIMEOUT = 60.0
+COMMANDS = 1500
+#: Generous floor: dev machines measure ~2,200/s; shared CI runners are
+#: slower, but an accidentally-serialized path lands near the ~350/s
+#: closed-loop figure and fails this clearly.
+THROUGHPUT_FLOOR = 250.0
+
+
+def _batched_factory():
+    delta = 0.05
+    return smr_factory(
+        1,
+        1,
+        delta=delta,
+        omega_factory=static_omega_factory(0),
+        consensus_config=TwoStepConfig(f=1, e=1, delta=delta, is_object=True),
+        batch_size=64,
+        window=1,
+    )
+
+
+def test_pipelined_throughput_clears_the_floor():
+    async def live():
+        async with LocalCluster(
+            3, _batched_factory(), serve_clients=True
+        ) as cluster:
+            report = await run_loadgen(
+                cluster.addresses,
+                clients=2,
+                count=COMMANDS,
+                pipeline=64,
+                codec=cluster.codec,
+            )
+            assert report.failed == 0
+            assert report.completed == COMMANDS
+            assert report.throughput >= THROUGHPUT_FLOOR, (
+                f"pipelined throughput {report.throughput:,.0f}/s below the "
+                f"{THROUGHPUT_FLOOR:,.0f}/s smoke floor"
+            )
+            await cluster.wait_logs_converged(
+                timeout=30.0, expected_commands=COMMANDS
+            )
+            assert check_logs_consistent(cluster.survivor_replicas()) == []
+
+    asyncio.run(asyncio.wait_for(live(), HARD_TIMEOUT))

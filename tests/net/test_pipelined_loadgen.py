@@ -1,0 +1,156 @@
+"""Open-loop pipelined clients against a live batched cluster.
+
+Covers the client half of the throughput path: ``KVClient.run_pipelined``
+keeps a window of commands outstanding on one connection, the load
+generator's ``pipeline > 1`` mode drives whole workloads that way, and
+failover re-submits the outstanding window idempotently when the pinned
+proxy is gone.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.net.client import ClientError, KVClient
+from repro.net.cluster import LocalCluster
+from repro.net.loadgen import run_loadgen
+from repro.omega import static_omega_factory
+from repro.protocols.twostep import TwoStepConfig
+from repro.smr import KVCommand, check_logs_consistent
+from repro.smr.log import smr_factory
+
+HARD_TIMEOUT = 90.0
+
+
+def _run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, HARD_TIMEOUT))
+
+
+def _batched_factory(delta=0.5, batch_size=8, window=4):
+    return smr_factory(
+        1,
+        1,
+        delta=delta,
+        omega_factory=static_omega_factory(0),
+        consensus_config=TwoStepConfig(f=1, e=1, delta=delta, is_object=True),
+        batch_size=batch_size,
+        window=window,
+    )
+
+
+class TestPipelinedLoadgen:
+    def test_pipelined_run_completes_and_logs_converge(self):
+        count = 60
+
+        async def live():
+            async with LocalCluster(
+                3, _batched_factory(), serve_clients=True
+            ) as cluster:
+                report = await run_loadgen(
+                    cluster.addresses,
+                    clients=2,
+                    count=count,
+                    pipeline=8,
+                    seed=5,
+                    codec=cluster.codec,
+                )
+                assert report.failed == 0
+                assert report.completed == count
+                assert report.pipeline == 8
+                assert report.to_record()["pipeline"] == 8
+                await cluster.wait_logs_converged(
+                    timeout=30.0, expected_commands=count
+                )
+                replicas = cluster.survivor_replicas()
+                assert check_logs_consistent(replicas) == []
+                for replica in replicas:
+                    applied = [c.command_id for c in replica.store.log]
+                    assert len(applied) == len(set(applied))
+
+        _run(live())
+
+    def test_pipeline_depth_must_be_positive(self):
+        async def live():
+            with pytest.raises(ConfigurationError, match="pipeline"):
+                await run_loadgen([("127.0.0.1", 1)], pipeline=0)
+
+        _run(live())
+
+
+class TestRunPipelined:
+    def test_empty_command_list_returns_no_replies(self):
+        async def live():
+            client = KVClient([("127.0.0.1", 1)], client_id="empty")
+            try:
+                assert await client.run_pipelined([]) == {}
+            finally:
+                await client.close()
+
+        _run(live())
+
+    def test_window_and_ids_validated(self):
+        async def live():
+            client = KVClient([("127.0.0.1", 1)], client_id="bad")
+            try:
+                with pytest.raises(ClientError, match="window"):
+                    await client.run_pipelined(
+                        [KVCommand(op="get", key="k", command_id="x")], window=0
+                    )
+                with pytest.raises(ClientError, match="command_id"):
+                    await client.run_pipelined([KVCommand(op="get", key="k")])
+            finally:
+                await client.close()
+
+        _run(live())
+
+    def test_pipelined_replies_match_closed_loop_results(self):
+        commands = [
+            KVCommand(op="put", key="k", value=i, command_id=f"pl-{i}")
+            for i in range(12)
+        ] + [KVCommand(op="get", key="k", command_id="pl-get")]
+
+        async def live():
+            async with LocalCluster(
+                3, _batched_factory(), serve_clients=True
+            ) as cluster:
+                client = KVClient(
+                    cluster.addresses, client_id="pl", codec=cluster.codec
+                )
+                try:
+                    replies = await client.run_pipelined(commands, window=4)
+                finally:
+                    await client.close()
+                assert set(replies) == {c.command_id for c in commands}
+                assert replies["pl-get"].result == 11  # last put wins
+                assert all(not r.duplicate for r in replies.values())
+
+        _run(live())
+
+    def test_pipelined_window_fails_over_after_proxy_crash(self):
+        commands = [
+            KVCommand(op="put", key="k", value=i, command_id=f"fo-{i}")
+            for i in range(10)
+        ]
+
+        async def live():
+            async with LocalCluster(
+                3, _batched_factory(delta=1.0), serve_clients=True
+            ) as cluster:
+                await cluster.crash(2)  # f=1 tolerated; not the Ω leader
+                client = KVClient(
+                    cluster.addresses,
+                    client_id="fo",
+                    codec=cluster.codec,
+                    timeout=2.0,
+                )
+                try:
+                    replies = await client.run_pipelined(
+                        commands, window=4, proxy=2
+                    )
+                finally:
+                    await client.close()
+                assert set(replies) == {c.command_id for c in commands}
+                assert client.proxy != 2  # the whole window failed over
+
+        _run(live())
