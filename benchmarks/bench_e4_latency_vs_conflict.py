@@ -46,3 +46,53 @@ def bench_e4_latency_vs_conflict(once):
             assert row["first_decision_mean"] == 2.0
         else:
             assert row["first_decision_mean"] >= 2.0
+
+
+def bench_e4_registry_cross_check(once):
+    """Fast-path ratio from counters matches the decision-time criterion.
+
+    E4's random schedules are exactly where fast and slow decisions mix:
+    per seeded run, a first decision at 2Δ must show up as a ballot-0
+    fast decision in the merged registry (ratio 1.0 here — one consensus
+    instance, one quorum decision) and a later first decision as a slow
+    one (ratio 0.0). Which seeds land on which path varies with the
+    interpreter's hash seed (shuffled delivery is keyed on it), so the
+    assertion is the per-run equivalence, not a fixed fast/slow split.
+    This pins that the simulated ratio the E3/E4 harness reports is the
+    same quantity the live cluster's ``repro stats`` computes.
+    """
+    from repro.checks.builders import twostep_task_builder
+    from repro.checks.consensus import shuffled_delivery
+    from repro.obs import fast_path_ratio
+    from repro.sim import FixedLatency, Simulation
+
+    f = e = 2
+    n = 6
+    builder = twostep_task_builder(f, e)
+    proposals = {pid: 100 + (pid if pid < 3 else 0) for pid in range(n)}
+
+    def simulate_all():
+        sims = []
+        for seed in range(1, 9):
+            sim = Simulation(
+                builder(proposals, set()),
+                n,
+                latency=FixedLatency(1.0),
+                delivery_priority=shuffled_delivery(seed),
+                proposals=proposals,
+            )
+            sim.run(until=40.0)
+            sims.append(sim)
+        return sims
+
+    sims = once(simulate_all)
+    assert sims
+    for sim in sims:
+        run = sim.run_record
+        times = [run.decision_time(pid) for pid in range(n)]
+        assert all(time is not None for time in times)
+        ratio = fast_path_ratio(sim.stats()["merged"])
+        if min(times) == 2.0:
+            assert ratio == 1.0
+        else:
+            assert ratio == 0.0

@@ -17,6 +17,8 @@ The library provides:
   scenario batteries;
 * :mod:`repro.smr` / :mod:`repro.wan` — the replicated KV service and
   wide-area deployment modeling;
+* :mod:`repro.obs` — per-node metrics, decision-path records, and the
+  opt-in event trace shared by the simulator and the live runtime;
 * :mod:`repro.analysis` — the E1–E10 experiment harness.
 
 Quickstart::
@@ -38,7 +40,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, bounds, checks, core, omega, protocols, sim, smr, wan
+from . import analysis, bounds, checks, core, obs, omega, protocols, sim, smr, wan
 
 __all__ = [
     "__version__",
@@ -46,6 +48,7 @@ __all__ = [
     "bounds",
     "checks",
     "core",
+    "obs",
     "omega",
     "protocols",
     "sim",

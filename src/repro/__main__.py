@@ -12,6 +12,7 @@ Usage::
     python -m repro explore --workers 2  # exhaustive safety exploration
     python -m repro cluster --n 3        # boot a live KV cluster (asyncio TCP)
     python -m repro loadgen --peers ...  # drive a live cluster, report latency
+    python -m repro stats --peers ...    # scrape + merge a cluster's metrics
     python -m repro all                  # everything (a few minutes)
 """
 
@@ -272,8 +273,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     from .net import run_cluster, start_node
     from .net.client import parse_address_list
+    from .net.netlog import configure_logging
     from .net.node import KVService
 
+    if args.log_level is not None:
+        configure_logging(args.log_level)
     factory = _smr_net_factory(
         args.f, args.e, args.delta, batch=args.batch, window=args.window
     )
@@ -287,7 +291,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
         async def run_one() -> None:
             node = start_node(
-                args.node, addresses, factory, client_service=KVService()
+                args.node,
+                addresses,
+                factory,
+                client_service=KVService(),
+                trace=args.trace,
             )
             await node.bind()
             print(f"node {args.node} serving on {node.host}:{node.port}")
@@ -313,6 +321,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print(f"cluster up: n={args.n} f={args.f} e={args.e}")
         print(f"peers: {peers}")
         print(f"drive it with: python -m repro loadgen --peers {peers}")
+        print(f"inspect it with: python -m repro stats --peers {peers}")
         sys.stdout.flush()
 
     try:
@@ -323,11 +332,47 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 duration=args.duration,
                 base_port=args.base_port,
                 on_ready=announce,
+                trace=args.trace,
             )
         )
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net.client import parse_address_list
+    from .net.stats import describe_cluster_stats, scrape_cluster
+
+    addresses = parse_address_list(args.peers)
+    view = asyncio.run(
+        scrape_cluster(
+            addresses, include_trace=args.trace, timeout=args.timeout
+        )
+    )
+    if args.json:
+        _emit_json(view)
+    else:
+        print(describe_cluster_stats(view))
+        for pid in sorted(view["nodes"]):
+            snapshot = view["nodes"][pid]
+            if snapshot is None:
+                print(f"node {pid}: unreachable")
+                continue
+            counters = snapshot.get("counters", {})
+            print(
+                f"node {pid}: fast={counters.get('consensus.decisions_fast', 0)} "
+                f"slow={counters.get('consensus.decisions_slow', 0)} "
+                f"learned={counters.get('consensus.decisions_learned', 0)} "
+                f"timers set/fired/cancelled="
+                f"{counters.get('timer.set', 0)}/"
+                f"{counters.get('timer.fired', 0)}/"
+                f"{counters.get('timer.cancel', 0)}"
+            )
+    # A scrape that reached nobody is a failure; partial reach is not.
+    return 0 if any(s is not None for s in view["nodes"].values()) else 1
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -349,6 +394,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             pipeline=args.pipeline,
             pin_proxy=None if args.pin_proxy < 0 else args.pin_proxy,
+            collect_stats=args.stats,
+            collect_trace=args.trace,
         )
     )
     payload = {
@@ -364,6 +411,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         },
         "unix_time": round(time.time(), 3),
     }
+    if report.cluster_traces is not None:
+        payload["traces"] = report.cluster_traces
     if args.record is not None:
         path = pathlib.Path(args.record)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -374,6 +423,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     else:
         print(report.describe())
         print(f"metrics: {report.metrics.describe()}")
+        if report.cluster_stats is not None:
+            from .net.stats import describe_cluster_stats
+
+            print(f"cluster: {describe_cluster_stats(report.cluster_stats)}")
     return 0 if report.failed == 0 else 1
 
 
@@ -495,7 +548,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="host:port,... address book for --node mode",
     )
+    cluster.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable the per-node flight-recorder event trace (opt-in)",
+    )
+    cluster.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="emit runtime logs (node id + pid prefixed) at this level",
+    )
     cluster.set_defaults(fn=_cmd_cluster)
+    stats = sub.add_parser(
+        "stats", help="scrape a live cluster's metrics and merge them"
+    )
+    stats.add_argument(
+        "--peers", required=True, help="host:port,... of the cluster's nodes"
+    )
+    stats.add_argument(
+        "--trace",
+        action="store_true",
+        help="also pull each node's retained flight-recorder events",
+    )
+    stats.add_argument(
+        "--timeout", type=float, default=5.0, help="per-node scrape timeout"
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit the full merged view as JSON"
+    )
+    stats.set_defaults(fn=_cmd_stats)
     loadgen = sub.add_parser(
         "loadgen", help="drive a live cluster and report commit latency"
     )
@@ -526,6 +608,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="proxy all pipelined workers target (default 0, the Ω leader; "
         "-1 spreads workers round-robin; ignored when --pipeline 1, where "
         "each op keeps its workload-assigned proxy)",
+    )
+    loadgen.add_argument(
+        "--stats",
+        action="store_true",
+        help="scrape every node's metrics after the run and merge them "
+        "into the report (fast-path ratio, per-message counters)",
+    )
+    loadgen.add_argument(
+        "--trace",
+        action="store_true",
+        help="also pull each node's flight-recorder events (implies --stats "
+        "scrape; nodes must have been launched with tracing on)",
     )
     loadgen.add_argument(
         "--json", action="store_true", help="emit machine-readable records"

@@ -27,6 +27,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Callable, List, Optional, Sequence
 
+from ..obs import NULL_OBS, Observability
 from .messages import Message
 from .values import MaybeValue
 
@@ -61,6 +62,18 @@ class Context(ABC):
     def others(self) -> List[ProcessId]:
         """All process ids except this process's own."""
         return [p for p in range(self.n) if p != self.pid]
+
+    @property
+    def obs(self) -> Observability:
+        """Observability sink (metrics registry + event trace).
+
+        Instrumented schedulers — the discrete-event simulator and the
+        live node runtime — override this with the activated node's real
+        :class:`~repro.obs.Observability`. The default is the shared
+        no-op sink, so uninstrumented harnesses (arena, explorer worlds)
+        pay nothing and protocol code can emit unconditionally.
+        """
+        return NULL_OBS
 
     @abstractmethod
     def send(self, dst: ProcessId, message: Message) -> None:

@@ -21,7 +21,7 @@ This layer is beyond-paper engineering: the paper's claims are about the
 protocols, which stay byte-identical; see ``docs/PAPER_MAP.md``.
 """
 
-from .client import ClientError, KVClient, parse_address_list
+from .client import ClientError, KVClient, PipelineError, parse_address_list
 from .cluster import LocalCluster, run_cluster
 from .codec import (
     CodecError,
@@ -32,6 +32,7 @@ from .codec import (
     default_registry,
 )
 from .loadgen import LoadReport, run_loadgen
+from .netlog import configure_logging, node_logger
 from .node import (
     Address,
     ClientService,
@@ -40,7 +41,15 @@ from .node import (
     enable_nodelay,
     start_node,
 )
-from .wire import ClientHello, ClientReply, ClientSubmit, NodeHello
+from .stats import describe_cluster_stats, fetch_node_stats, scrape_cluster
+from .wire import (
+    ClientHello,
+    ClientReply,
+    ClientSubmit,
+    NodeHello,
+    StatsReply,
+    StatsRequest,
+)
 
 __all__ = [
     "Address",
@@ -59,11 +68,19 @@ __all__ = [
     "MessageRegistry",
     "NodeHello",
     "NodeServer",
+    "PipelineError",
+    "StatsReply",
+    "StatsRequest",
     "WIRE_VERSION",
+    "configure_logging",
     "default_registry",
+    "describe_cluster_stats",
     "enable_nodelay",
+    "fetch_node_stats",
+    "node_logger",
     "parse_address_list",
     "run_cluster",
     "run_loadgen",
+    "scrape_cluster",
     "start_node",
 ]

@@ -42,6 +42,28 @@ class ClientError(ReproError):
     """Raised when a command could not be completed within the retry budget."""
 
 
+class PipelineError(ClientError):
+    """A pipelined run exhausted its retry budget with work left over.
+
+    Unlike the closed-loop path — which fails one command at a time —
+    the open-loop path fails a whole outstanding window at once. This
+    subclass keeps the partial result addressable: ``replies`` holds
+    everything that *did* complete (by ``command_id``) and ``pending``
+    the command ids still unfinished, so the load generator can report
+    per-command outcomes instead of one opaque lump.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        replies: Dict[str, "ClientReply"],
+        pending: Sequence[str],
+    ) -> None:
+        super().__init__(message)
+        self.replies = dict(replies)
+        self.pending = tuple(pending)
+
+
 class KVClient:
     """One closed-loop client session against a live cluster."""
 
@@ -225,9 +247,11 @@ class KVClient:
                 await asyncio.sleep(
                     min(self.backoff_initial * (2 ** attempt), self.backoff_max)
                 )
-        raise ClientError(
+        raise PipelineError(
             f"{len(pending)} of {len(pending) + len(replies)} pipelined commands "
-            f"incomplete after {self.max_attempts} attempts: {last_error!r}"
+            f"incomplete after {self.max_attempts} attempts: {last_error!r}",
+            replies=replies,
+            pending=sorted(pending),
         )
 
     async def _pipeline_attempt(

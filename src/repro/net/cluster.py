@@ -50,6 +50,7 @@ class LocalCluster:
         codec: Optional[MessageCodec] = None,
         host: str = "127.0.0.1",
         base_port: int = 0,
+        trace: bool = False,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one node, got n={n}")
@@ -68,6 +69,7 @@ class LocalCluster:
                 client_service=(
                     client_service_factory() if client_service_factory else None
                 ),
+                trace=trace,
             )
             for pid in range(n)
         ]
@@ -183,6 +185,7 @@ async def run_cluster(
     serve_clients: bool = True,
     base_port: int = 0,
     on_ready: Optional[Callable[[LocalCluster], None]] = None,
+    trace: bool = False,
 ) -> LocalCluster:
     """Boot a cluster, optionally run for *duration* seconds, and stop.
 
@@ -190,7 +193,7 @@ async def run_cluster(
     cluster runs until cancelled (Ctrl-C).
     """
     cluster = LocalCluster(
-        n, factory, serve_clients=serve_clients, base_port=base_port
+        n, factory, serve_clients=serve_clients, base_port=base_port, trace=trace
     )
     await cluster.start()
     if on_ready is not None:

@@ -321,6 +321,19 @@ async def read_frame(reader: asyncio.StreamReader, codec: MessageCodec) -> Any:
     Raises ``asyncio.IncompleteReadError`` on EOF mid-frame and
     ``ConnectionError``/``CodecError`` like the underlying calls.
     """
+    message, _size = await read_frame_sized(reader, codec)
+    return message
+
+
+async def read_frame_sized(
+    reader: asyncio.StreamReader, codec: MessageCodec
+) -> Tuple[Any, int]:
+    """Like :func:`read_frame`, plus the frame's total on-wire byte count.
+
+    The size includes the length prefix, so summing it over a connection
+    reproduces the exact byte count the sender wrote — what the node's
+    ``recv_bytes.*`` counters report.
+    """
     header = await reader.readexactly(_LENGTH.size)
     (payload_len,) = _LENGTH.unpack(header)
     if payload_len > MAX_FRAME_BYTES:
@@ -328,4 +341,4 @@ async def read_frame(reader: asyncio.StreamReader, codec: MessageCodec) -> Any:
             f"incoming frame claims {payload_len} bytes (> {MAX_FRAME_BYTES})"
         )
     payload = await reader.readexactly(payload_len)
-    return codec.decode_payload(payload)
+    return codec.decode_payload(payload), _LENGTH.size + payload_len

@@ -36,9 +36,10 @@ from ..analysis.stats import Summary, summarize
 from ..core.errors import ConfigurationError
 from ..smr.client import ClientOp, put_get_workload
 from ..verify.metrics import MetricsRecorder, VerificationMetrics
-from .client import ClientError, KVClient
+from .client import ClientError, KVClient, PipelineError
 from .codec import MessageCodec
 from .node import Address
+from .stats import scrape_cluster
 
 
 @dataclass
@@ -62,6 +63,8 @@ class LoadReport:
     results: Dict[str, Any] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
     pipeline: int = 1
+    cluster_stats: Optional[Dict[str, Any]] = None
+    cluster_traces: Optional[Dict[int, List[Any]]] = None
 
     @property
     def throughput(self) -> float:
@@ -104,6 +107,20 @@ class LoadReport:
                 record[f"{label}_p95_ms"] = round(summary.p95 * 1000, 2)
                 record[f"{label}_p99_ms"] = round(summary.p99 * 1000, 2)
                 record[f"{label}_mean_ms"] = round(summary.mean * 1000, 2)
+        # Failures are part of the result, not an aside: the first few
+        # error strings ride along so a --record artifact of a degraded
+        # run explains itself.
+        record["errors_sample"] = list(self.errors[:5])
+        if self.cluster_stats is not None:
+            counters = self.cluster_stats["merged"]["counters"]
+            record["fast_path_ratio"] = self.cluster_stats["fast_path_ratio"]
+            record["decisions_fast"] = counters.get("consensus.decisions_fast", 0)
+            record["decisions_slow"] = counters.get("consensus.decisions_slow", 0)
+            record["decisions_learned"] = counters.get(
+                "consensus.decisions_learned", 0
+            )
+            record["gap_repair_noops"] = counters.get("smr.gap_repair_noops", 0)
+            record["cluster_stats"] = self.cluster_stats
         return record
 
 
@@ -121,6 +138,8 @@ async def run_loadgen(
     ops: Optional[Sequence[ClientOp]] = None,
     pipeline: int = 1,
     pin_proxy: Optional[int] = 0,
+    collect_stats: bool = False,
+    collect_trace: bool = False,
 ) -> LoadReport:
     """Drive *count* commands through the cluster at *addresses*.
 
@@ -131,6 +150,13 @@ async def run_loadgen(
     the op's designated proxy with failover; with ``pipeline > 1`` each
     session keeps that many commands outstanding on one connection, pinned
     to ``pin_proxy`` (or spread round-robin when ``pin_proxy is None``).
+
+    ``collect_stats`` scrapes every node's observability snapshot after
+    the run and merges it into the report (``cluster_stats``), putting
+    the fast-path ratio and per-message-type counters next to the
+    latency table in ``--record`` artifacts; ``collect_trace``
+    additionally pulls each node's retained flight-recorder events
+    (only meaningful when the nodes were launched with tracing on).
     """
     if clients < 1:
         raise ConfigurationError(f"need at least one client, got {clients}")
@@ -194,6 +220,11 @@ async def run_loadgen(
                     reply.command_id, reply, elapsed
                 ),
             )
+        except PipelineError as exc:
+            # Mirror the closed-loop path: one error entry per unfinished
+            # command, completed work already recorded via on_reply.
+            for command_id in exc.pending:
+                errors.append(f"command {command_id!r} incomplete: {exc}")
         except ClientError as exc:
             errors.append(str(exc))
         finally:
@@ -205,6 +236,17 @@ async def run_loadgen(
         *(worker(index, share) for index, share in enumerate(shares))
     )
     wall = time.perf_counter() - started
+
+    cluster_stats: Optional[Dict[str, Any]] = None
+    cluster_traces: Optional[Dict[int, List[Any]]] = None
+    if collect_stats or collect_trace:
+        cluster_stats = await scrape_cluster(
+            addresses,
+            codec=shared_codec,
+            include_trace=collect_trace,
+            timeout=timeout,
+        )
+        cluster_traces = cluster_stats.pop("traces", None)
 
     commit_samples = [c[2] for c in completions if not c[4]]
     client_samples = [c[3] for c in completions]
@@ -220,4 +262,6 @@ async def run_loadgen(
         results={c[0]: c[1] for c in completions if not c[4]},
         errors=errors,
         pipeline=pipeline,
+        cluster_stats=cluster_stats,
+        cluster_traces=cluster_traces,
     )

@@ -1,0 +1,71 @@
+"""Structured logging for the live runtime.
+
+The asyncio node deliberately swallows transport exceptions — a peer
+sender that cannot connect retries with backoff, a torn-down connection
+is simply closed — because crash-stop links make those conditions
+routine. Swallowing them *silently*, though, made real misconfiguration
+(wrong address book, port collisions, codec mismatches) invisible. This
+module gives every node a stdlib :mod:`logging` logger whose records are
+prefixed with the node id and OS pid, so multi-process cluster logs
+interleave legibly:
+
+``[node 2 pid=4711] peer 0 unreachable (ConnectionRefusedError); retry in 0.10s``
+
+Nothing is configured by default (the usual library discipline: a
+:class:`~logging.NullHandler` on the package logger keeps quiet unless
+the application opts in); ``python -m repro cluster --log-level=debug``
+and the loadgen call :func:`configure_logging` to turn records on.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Union
+
+#: Parent of every per-node logger; attach handlers here.
+LOGGER_NAME = "repro.net"
+
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+class _NodePrefixAdapter(logging.LoggerAdapter):
+    """Prefix every record with ``[node <pid> pid=<ospid>]``."""
+
+    def process(self, msg, kwargs):
+        return f"[node {self.extra['node']} pid={self.extra['ospid']}] {msg}", kwargs
+
+
+def node_logger(pid: int) -> logging.LoggerAdapter:
+    """Logger for one node, prefixed with its id and the OS pid.
+
+    The OS pid matters because ``repro cluster`` runs one node per
+    process while the tests run many nodes in one process — the prefix
+    disambiguates both layouts.
+    """
+    base = logging.getLogger(f"{LOGGER_NAME}.node")
+    return _NodePrefixAdapter(base, {"node": pid, "ospid": os.getpid()})
+
+
+def configure_logging(level: Union[int, str] = "info") -> None:
+    """Opt in to live-runtime log output on stderr at *level*.
+
+    Idempotent: reconfigures the existing handler rather than stacking a
+    new one per call (the loadgen and the cluster entrypoint may both
+    call this in one process).
+    """
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_stream_handler", False):
+            handler.setLevel(level)
+            return
+    handler = logging.StreamHandler()
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(message)s")
+    )
+    handler._repro_stream_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)

@@ -48,9 +48,18 @@ from ..core.errors import ConfigurationError, ProtocolError, SchedulerError
 from ..core.messages import Message
 from ..core.process import CLIENT, Context, Process, ProcessFactory, ProcessId
 from ..core.values import MaybeValue
+from ..obs import Observability, TraceRecorder, message_label
 from ..smr.log import SMRReplica, SubmitCommand
-from .codec import CodecError, MessageCodec, read_frame
-from .wire import ClientHello, ClientReply, ClientSubmit, NodeHello
+from .codec import CodecError, MessageCodec, read_frame, read_frame_sized
+from .netlog import node_logger
+from .wire import (
+    ClientHello,
+    ClientReply,
+    ClientSubmit,
+    NodeHello,
+    StatsReply,
+    StatsRequest,
+)
 
 #: (host, port) pairs, indexed by pid.
 Address = Tuple[str, int]
@@ -84,6 +93,10 @@ class _NodeContext(Context):
     @property
     def n(self) -> int:
         return self._node.n
+
+    @property
+    def obs(self) -> Observability:
+        return self._node.obs
 
     def send(self, dst: ProcessId, message: Message) -> None:
         self._node._send(dst, message)
@@ -206,6 +219,8 @@ class NodeServer:
         client_service: Optional[ClientService] = None,
         reconnect_initial: float = 0.05,
         reconnect_max: float = 1.0,
+        obs: Optional[Observability] = None,
+        trace: bool = False,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one process, got n={n}")
@@ -219,6 +234,14 @@ class NodeServer:
         self.client_service = client_service
         self.reconnect_initial = reconnect_initial
         self.reconnect_max = reconnect_max
+        # Metrics are on by default; the flight-recorder trace is opt-in
+        # (``trace=True``) or bring-your-own via ``obs``.
+        self.obs = (
+            obs
+            if obs is not None
+            else Observability(trace=TraceRecorder() if trace else None, node=pid)
+        )
+        self.log = node_logger(pid)
         self.process: Process = factory(pid, n)
 
         self.decisions: List[Tuple[float, MaybeValue]] = []
@@ -303,9 +326,10 @@ class NodeServer:
             try:
                 if not writer.is_closing():
                     writer.close()
-            except Exception:
-                pass
+            except Exception as exc:
+                self.log.debug("closing inbound connection raised %r", exc)
         self._writers.clear()
+        self.log.info("stopped (crash-stop)")
 
     # ------------------------------------------------------------------
     # Activations (all synchronous, all on the event loop thread).
@@ -319,6 +343,7 @@ class NodeServer:
             handler(ctx)
         except Exception as exc:
             self.errors.append(exc)
+            self.log.exception("activation raised %r", exc)
             raise
         finally:
             if self.client_service is not None and not self._crashed:
@@ -334,16 +359,24 @@ class NodeServer:
     def _send(self, dst: ProcessId, message: Message) -> None:
         if not 0 <= dst < self.n:
             raise SchedulerError(f"send to unknown process {dst}")
+        label = message_label(message)
+        self.obs.registry.inc(f"sent.{label}")
         if dst == self.pid:
             # Self-delivery stays asynchronous (never reentrant), matching
             # the simulator where a self-send goes through the event queue.
             asyncio.get_event_loop().call_soon(self._deliver_self, message)
             return
-        self._enqueue(dst, self.codec.encode(message))
+        frame = self.codec.encode(message)
+        self.obs.registry.inc(f"sent_bytes.{label}", len(frame))
+        self._enqueue(dst, frame)
 
     def _broadcast(self, message: Message, include_self: bool) -> None:
         """Encode once, enqueue the same frame for every peer."""
         frame = self.codec.encode(message)
+        label = message_label(message)
+        peers = self.n - 1
+        self.obs.registry.inc(f"sent.{label}", peers + (1 if include_self else 0))
+        self.obs.registry.inc(f"sent_bytes.{label}", len(frame) * peers)
         for dst in range(self.n):
             if dst == self.pid:
                 continue
@@ -352,16 +385,25 @@ class NodeServer:
             asyncio.get_event_loop().call_soon(self._deliver_self, message)
 
     def _enqueue(self, dst: ProcessId, frame: bytes) -> None:
-        self._outbox[dst].append(frame)
+        queue = self._outbox[dst]
+        queue.append(frame)
+        # High-water mark of this peer's outbound queue: sustained growth
+        # means the link (or the peer) is slower than the offered load.
+        self.obs.registry.gauge_max(f"net.outbox_hwm.p{dst}", len(queue))
         self._outbox_wake[dst].set()
 
     def _deliver_self(self, message: Message) -> None:
         if not self._crashed:
+            # Counted as a receive (no bytes: nothing hit the wire) so the
+            # recv.* totals line up with the simulator, where self-sends
+            # travel through the event queue like any delivery.
+            self.obs.registry.inc(f"recv.{message_label(message)}")
             self._deliver(self.pid, message)
 
     def _set_timer(self, name: str, delay: float) -> None:
         if delay < 0:
             raise SchedulerError(f"timer delay must be non-negative, got {delay}")
+        self.obs.registry.inc("timer.set")
         generation = self._timer_generation.get(name, 0) + 1
         self._timer_generation[name] = generation
         stale = self._timer_handles.pop(name, None)
@@ -372,6 +414,7 @@ class NodeServer:
         )
 
     def _cancel_timer(self, name: str) -> None:
+        self.obs.registry.inc("timer.cancel")
         if name in self._timer_generation:
             self._timer_generation[name] += 1
             handle = self._timer_handles.pop(name, None)
@@ -384,6 +427,7 @@ class NodeServer:
         if self._timer_generation.get(name, 0) != generation:
             return  # stale: re-armed or cancelled since scheduling
         self._timer_handles.pop(name, None)
+        self.obs.registry.inc("timer.fired")
         self._activate(lambda ctx: self.process.on_timer(ctx, name))
 
     def _decide(self, value: MaybeValue) -> None:
@@ -413,7 +457,14 @@ class NodeServer:
         while not self._crashed:
             try:
                 reader, writer = await asyncio.open_connection(*self._addresses[peer])
-            except OSError:
+            except OSError as exc:
+                self.log.debug(
+                    "peer %d unreachable (%s); retry in %.2fs",
+                    peer,
+                    type(exc).__name__,
+                    backoff,
+                )
+                self.obs.registry.inc(f"net.reconnects.p{peer}")
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * 2, self.reconnect_max)
                 continue
@@ -435,13 +486,21 @@ class NodeServer:
                     await writer.drain()
                     for _ in range(burst):
                         queue.popleft()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError) as exc:
+                self.log.info(
+                    "link to peer %d dropped (%s); %d frame(s) pending re-send",
+                    peer,
+                    type(exc).__name__,
+                    len(queue),
+                )
                 continue
             finally:
                 try:
                     writer.close()
-                except Exception:
-                    pass
+                except Exception as exc:
+                    self.log.debug(
+                        "closing link to peer %d raised %r", peer, exc
+                    )
 
     # ------------------------------------------------------------------
     # Inbound connections: peers deliver, clients converse.
@@ -473,17 +532,26 @@ class NodeServer:
     async def _serve_peer(self, reader: asyncio.StreamReader, sender: ProcessId) -> None:
         while not self._crashed:
             try:
-                message = await read_frame(reader, self.codec)
-            except (asyncio.IncompleteReadError, ConnectionError, CodecError):
+                message, size = await read_frame_sized(reader, self.codec)
+            except (asyncio.IncompleteReadError, ConnectionError, CodecError) as exc:
+                self.log.debug(
+                    "inbound link from peer %d closed (%s)",
+                    sender,
+                    type(exc).__name__,
+                )
                 return  # peer went away; its sender task reconnects
+            label = message_label(message)
+            self.obs.registry.inc(f"recv.{label}")
+            self.obs.registry.inc(f"recv_bytes.{label}", size)
             self._deliver(sender, message)
 
     async def _serve_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        if self.client_service is None:
-            return
-        replies: "asyncio.Queue[ClientReply]" = asyncio.Queue()
+        # Served even with no client service attached: stats are a
+        # property of the runtime, not of the KV layer, so a consensus-only
+        # node still answers ``StatsRequest``.
+        replies: "asyncio.Queue[Message]" = asyncio.Queue()
         loop = asyncio.get_event_loop()
         flusher = loop.create_task(self._flush_replies(replies, writer))
         self._tasks.append(flusher)
@@ -493,7 +561,12 @@ class NodeServer:
                     request = await read_frame(reader, self.codec)
                 except (asyncio.IncompleteReadError, ConnectionError, CodecError):
                     return
-                if isinstance(request, ClientSubmit):
+                if isinstance(request, StatsRequest):
+                    replies.put_nowait(self._stats_reply(request))
+                elif (
+                    isinstance(request, ClientSubmit)
+                    and self.client_service is not None
+                ):
                     self.client_service.submit(self, request, replies.put_nowait)
         finally:
             flusher.cancel()
@@ -501,7 +574,7 @@ class NodeServer:
                 self._tasks.remove(flusher)
 
     async def _flush_replies(
-        self, replies: "asyncio.Queue[ClientReply]", writer: asyncio.StreamWriter
+        self, replies: "asyncio.Queue[Message]", writer: asyncio.StreamWriter
     ) -> None:
         while True:
             batch = [await replies.get()]
@@ -512,6 +585,33 @@ class NodeServer:
             writer.write(b"".join(self.codec.encode(reply) for reply in batch))
             await writer.drain()
 
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """This node's metrics snapshot (JSON-safe, mergeable).
+
+        Identical in shape to :meth:`repro.sim.simulation.Simulation.node_snapshot`,
+        which is what lets live and simulated runs be compared directly.
+        """
+        snapshot = self.obs.snapshot()
+        records = getattr(self.process, "decision_records", None)
+        if callable(records):
+            snapshot["decisions"] = records()
+        return snapshot
+
+    def _stats_reply(self, request: StatsRequest) -> StatsReply:
+        trace: Tuple = ()
+        if request.include_trace and self.obs.trace.enabled:
+            trace = tuple(self.obs.trace.events())
+        return StatsReply(
+            request_id=request.request_id,
+            pid=self.pid,
+            snapshot=self.stats_snapshot(),
+            trace=trace,
+        )
+
 
 def start_node(
     pid: ProcessId,
@@ -519,6 +619,7 @@ def start_node(
     factory: ProcessFactory,
     codec: Optional[MessageCodec] = None,
     client_service: Optional[ClientService] = None,
+    trace: bool = False,
 ) -> NodeServer:
     """Build a node for slot *pid* of *addresses* (not yet bound).
 
@@ -535,4 +636,5 @@ def start_node(
         host=host,
         port=port,
         client_service=client_service,
+        trace=trace,
     )

@@ -1,0 +1,148 @@
+"""Scrape and merge live nodes' observability snapshots.
+
+One :class:`~repro.net.wire.StatsRequest` per node over a short-lived
+client connection; replies merge with the helpers in :mod:`repro.obs`
+into the same ``{"nodes", "merged", "decisions", "fast_path_ratio"}``
+shape :meth:`repro.sim.simulation.Simulation.stats` returns, so the
+simulated and live views of one workload diff cleanly.
+
+Dead nodes are tolerated: a node that cannot be reached contributes
+``None`` to ``nodes`` and its pid is listed under ``unreachable`` —
+scraping a cluster mid-crash-test is the whole point (the cluster-smoke
+CI job does exactly that while one node is down).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import merge_decision_records, merge_snapshots
+from .codec import CodecError, MessageCodec, read_frame
+from .node import Address, enable_nodelay
+from .wire import ClientHello, StatsReply, StatsRequest
+
+
+async def fetch_node_stats(
+    address: Address,
+    codec: Optional[MessageCodec] = None,
+    include_trace: bool = False,
+    timeout: float = 5.0,
+    client_id: str = "stats-scraper",
+) -> StatsReply:
+    """Fetch one node's :class:`StatsReply` over a throwaway connection.
+
+    Raises the underlying ``OSError``/``asyncio.TimeoutError``/
+    ``CodecError`` on failure; :func:`scrape_cluster` catches those per
+    node, direct callers get the real cause.
+    """
+    codec = codec if codec is not None else MessageCodec()
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(*address), timeout
+    )
+    try:
+        enable_nodelay(writer)
+        writer.write(codec.encode(ClientHello(client_id)))
+        writer.write(
+            codec.encode(
+                StatsRequest(request_id=f"{client_id}:0", include_trace=include_trace)
+            )
+        )
+        await writer.drain()
+        reply = await asyncio.wait_for(read_frame(reader, codec), timeout)
+        if not isinstance(reply, StatsReply):
+            raise CodecError(f"expected StatsReply, got {type(reply).__name__}")
+        return reply
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def scrape_cluster(
+    addresses: Sequence[Address],
+    codec: Optional[MessageCodec] = None,
+    include_trace: bool = False,
+    timeout: float = 5.0,
+) -> Dict[str, Any]:
+    """Merge every reachable node's snapshot into one cluster view.
+
+    Returns ``{"nodes": {pid: snapshot|None}, "merged": ...,
+    "decisions": ..., "fast_path_ratio": r, "unreachable": [pid, ...]}``
+    (plus ``"traces": {pid: [...]}`` when *include_trace* and a node
+    returned events). Node keys come from each reply's own ``pid``;
+    unreachable entries fall back to the address-book index.
+    """
+    shared = codec if codec is not None else MessageCodec()
+
+    async def one(index: int, address: Address) -> Tuple[int, Optional[StatsReply]]:
+        try:
+            reply = await fetch_node_stats(
+                address,
+                codec=shared,
+                include_trace=include_trace,
+                timeout=timeout,
+                client_id=f"stats-scraper-{index}",
+            )
+            return (reply.pid, reply)
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, CodecError):
+            return (index, None)
+
+    results = await asyncio.gather(
+        *(one(index, address) for index, address in enumerate(addresses))
+    )
+    nodes: Dict[int, Optional[Dict[str, Any]]] = {}
+    traces: Dict[int, List[Any]] = {}
+    unreachable: List[int] = []
+    for pid, reply in results:
+        if reply is None:
+            nodes[pid] = None
+            unreachable.append(pid)
+            continue
+        nodes[pid] = reply.snapshot
+        if reply.trace:
+            traces[pid] = list(reply.trace)
+    merged = merge_snapshots(snapshot for snapshot in nodes.values())
+    decisions = merge_decision_records(
+        {
+            pid: snapshot.get("decisions", ())
+            for pid, snapshot in nodes.items()
+            if snapshot is not None
+        }
+    )
+    view: Dict[str, Any] = {
+        "nodes": nodes,
+        "merged": merged,
+        "decisions": decisions,
+        "fast_path_ratio": decisions["fast_path_ratio"],
+        "unreachable": sorted(unreachable),
+    }
+    if traces:
+        view["traces"] = traces
+    return view
+
+
+def describe_cluster_stats(view: Dict[str, Any]) -> str:
+    """One-paragraph human summary of a :func:`scrape_cluster` view."""
+    counters = view["merged"]["counters"]
+    fast = counters.get("consensus.decisions_fast", 0)
+    slow = counters.get("consensus.decisions_slow", 0)
+    learned = counters.get("consensus.decisions_learned", 0)
+    ratio = view.get("fast_path_ratio")
+    parts = [
+        f"decisions: {fast} fast / {slow} slow / {learned} learned",
+        "fast-path ratio: "
+        + (f"{ratio:.3f}" if ratio is not None else "n/a (nothing decided)"),
+        f"slots merged: {len(view['decisions']['slots'])}",
+    ]
+    if view["decisions"]["conflicts"]:
+        parts.append(f"CONFLICTS: {view['decisions']['conflicts']}")
+    if view["unreachable"]:
+        parts.append(f"unreachable nodes: {view['unreachable']}")
+    sent = sum(
+        value for name, value in counters.items() if name.startswith("sent_bytes.")
+    )
+    if sent:
+        parts.append(f"bytes sent: {sent:,}")
+    return "; ".join(parts)

@@ -72,3 +72,35 @@ class ClientReply(Message):
     result: Any
     commit_seconds: float
     duplicate: bool = False
+
+
+@dataclass(frozen=True)
+class StatsRequest(Message):
+    """Ask a node for its observability snapshot (sent on a client link).
+
+    Answered regardless of whether the node hosts a client service —
+    statistics are a property of the runtime, not of the KV layer. Set
+    ``include_trace`` to also receive the node's retained flight-recorder
+    events (only meaningful when the node was launched with tracing on).
+    """
+
+    request_id: str
+    include_trace: bool = False
+
+
+@dataclass(frozen=True)
+class StatsReply(Message):
+    """One node's metrics snapshot, JSON-safe and mergeable.
+
+    ``snapshot`` is exactly :meth:`repro.obs.Observability.snapshot` plus
+    a ``"decisions"`` key with the node's per-slot decision records when
+    the hosted process is an SMR replica;
+    :func:`repro.obs.merge_snapshots` /
+    :func:`repro.obs.merge_decision_records` fold replies cluster-wide.
+    ``trace`` carries the retained ring-buffer events when requested.
+    """
+
+    request_id: str
+    pid: int
+    snapshot: Any
+    trace: Any = ()

@@ -1,0 +1,137 @@
+"""repro.obs — cluster-wide observability for both runtimes.
+
+The paper's whole point is *which decisions complete in two message
+delays*; this package makes that measurable. It has three parts:
+
+* :mod:`~repro.obs.registry` — a low-overhead per-node metrics registry
+  (counters, high-water gauges, fixed-bucket mergeable histograms) that
+  stays **on by default**;
+* :mod:`~repro.obs.trace` — an **opt-in** structured event trace with a
+  bounded flight-recorder ring buffer, dumpable as JSONL;
+* :mod:`~repro.obs.decisions` — per-slot decision records tagged
+  ``fast | slow | learned`` and their cluster-wide merge, yielding the
+  **fast-path ratio** that empirically checks Theorems 5/6.
+
+Both runtimes are instrumented through the one seam they share: the
+:class:`repro.core.process.Context` handed to every activation exposes
+an :class:`Observability` via ``ctx.obs``. The discrete-event simulator
+and the live TCP node each bind a real registry there; every other
+harness (arena, rounds-as-arena, explorer worlds) inherits the no-op
+:data:`NULL_OBS`, so state-space exploration pays nothing.
+
+Metric names are identical in both runtimes — a simulated run and a
+live run of the same seeded workload produce directly comparable
+snapshots (``tests/net/test_stats.py`` pins that). The full metric
+catalogue and trace schema live in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .decisions import (
+    PATH_FAST,
+    PATH_LEARNED,
+    PATH_SLOW,
+    decision_record,
+    merge_decision_records,
+    slot_paths,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_latency_bounds,
+    fast_path_ratio,
+    merge_snapshots,
+)
+from .trace import DEFAULT_CAPACITY, NullTrace, TraceRecorder
+
+#: Cache of per-message-type counter suffixes, keyed by the concrete
+#: (outer, inner) types so envelope messages such as ``Slotted`` report
+#: their payload type too: ``Slotted.Propose``, ``Slotted.TwoB``, ...
+_LABEL_CACHE: Dict[Any, str] = {}
+
+
+def message_label(message: Any) -> str:
+    """Stable counter suffix for a message: ``TwoB``, ``Slotted.TwoB`` ...
+
+    Envelope detection is duck-typed on an ``inner`` attribute so this
+    module depends on nothing protocol-specific: any message carrying
+    another message as ``inner`` is labeled ``Outer.Inner``.
+    """
+    cls = type(message)
+    inner = getattr(message, "inner", None)
+    key = (cls, type(inner)) if inner is not None else cls
+    label = _LABEL_CACHE.get(key)
+    if label is None:
+        label = (
+            f"{cls.__name__}.{type(inner).__name__}"
+            if inner is not None
+            else cls.__name__
+        )
+        _LABEL_CACHE[key] = label
+    return label
+
+
+class Observability:
+    """One node's metrics registry plus its (optional) event trace.
+
+    Handed out through ``ctx.obs``; the pair is deliberately tiny so the
+    hot paths touch at most two attribute lookups before a counter add.
+    """
+
+    __slots__ = ("registry", "trace", "node")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        node: Optional[int] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else NullTrace()
+        self.node = node
+
+    @classmethod
+    def disabled(cls, node: Optional[int] = None) -> "Observability":
+        """Metrics *and* trace off — what ``NULL_OBS`` hands out."""
+        return cls(registry=NullRegistry(), trace=NullTrace(), node=node)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Registry snapshot plus retained trace length (JSON-safe)."""
+        snapshot = self.registry.snapshot()
+        if self.trace.enabled:
+            snapshot["trace_events"] = len(self.trace)
+            snapshot["trace_dropped"] = self.trace.dropped
+        return snapshot
+
+
+#: Shared no-op sink: the default ``Context.obs`` for harnesses that are
+#: not instrumented (arena, explorer). Never attach real state to it.
+NULL_OBS = Observability.disabled()
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullRegistry",
+    "NullTrace",
+    "Observability",
+    "PATH_FAST",
+    "PATH_LEARNED",
+    "PATH_SLOW",
+    "TraceRecorder",
+    "decision_record",
+    "default_latency_bounds",
+    "fast_path_ratio",
+    "merge_decision_records",
+    "merge_snapshots",
+    "message_label",
+    "slot_paths",
+]

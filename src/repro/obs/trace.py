@@ -1,0 +1,90 @@
+"""Structured event trace with a bounded flight-recorder ring buffer.
+
+Tracing is the opt-in half of the observability layer (metrics stay on
+by default; see :mod:`repro.obs.registry`). A :class:`TraceRecorder`
+keeps the last *capacity* events in memory — a flight recorder: when the
+ring is full the **oldest** event is evicted, so after a crash or a
+stats scrape you always hold the most recent window of activity.
+
+Events are plain dicts so they serialize unchanged as JSONL
+(:meth:`TraceRecorder.dump_jsonl`), travel inside a
+:class:`~repro.net.wire.StatsReply`, and need no schema migration
+machinery. Every event carries:
+
+``seq``
+    Monotonic per-recorder sequence number. Eviction never renumbers, so
+    gaps at the front reveal exactly how much history was dropped.
+``kind``
+    Event type, e.g. ``decide``, ``slot_decided``, ``gap_repair``.
+
+plus whatever keyword fields the emitter attached (``pid``, ``slot``,
+``path``, ``ballot``, ``t`` ...). The catalogue of kinds and their
+fields is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, IO, List, Union
+
+#: Default flight-recorder depth; enough for several seconds of cluster
+#: traffic while staying well under a megabyte of dicts.
+DEFAULT_CAPACITY = 4096
+
+
+class TraceRecorder:
+    """Bounded in-memory event trace (oldest-first eviction)."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event; evicts the oldest when the ring is full."""
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        event = {"seq": self._seq, "kind": kind}
+        event.update(fields)
+        self._seq += 1
+        self._ring.append(event)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def dump_jsonl(self, sink: Union[str, IO[str]]) -> int:
+        """Write the retained events as JSON Lines; returns the count."""
+        events = self.events()
+        if isinstance(sink, str):
+            with open(sink, "w") as handle:
+                for event in events:
+                    handle.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        else:
+            for event in events:
+                sink.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        return len(events)
+
+
+class NullTrace(TraceRecorder):
+    """Disabled trace: :meth:`emit` is a no-op (the default everywhere)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        pass

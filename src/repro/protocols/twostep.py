@@ -197,6 +197,13 @@ class TwoStepProcess(Process):
         self.proposer: MaybeValue = BOTTOM
         self.decided: MaybeValue = BOTTOM
 
+        # Decision provenance (observability only — never read by the
+        # protocol): which path produced the local decision. "fast" is
+        # the 2Δ path of lines 9-17, "slow" a classic quorum at a ballot
+        # b > 0 (lines 43-69), "learned" an adopted Decide broadcast.
+        self.decided_path: Optional[str] = None
+        self.decided_ballot: Optional[int] = None
+
         # Vote bookkeeping for the "received ... from all q in P" guards.
         self._fast_votes: Dict[MaybeValue, Set[ProcessId]] = {}
         self._slow_votes: Dict[Tuple[int, MaybeValue], Set[ProcessId]] = {}
@@ -288,7 +295,7 @@ class TwoStepProcess(Process):
         supporters = set(self._fast_votes.get(value, ()))
         supporters.add(self.pid)
         if len(supporters) >= fast_quorum_size(self.n, self.config.e):
-            self._decide(ctx, value)
+            self._decide(ctx, value, path="fast", ballot=0)
 
     # ------------------------------------------------------------------
     # Vote collection (fast and slow 2Bs).
@@ -307,7 +314,7 @@ class TwoStepProcess(Process):
         if message.ballot != self.bal or not is_bottom(self.decided):
             return
         if len(voters) >= classic_quorum_size(self.n, self.config.f):
-            self._decide(ctx, message.value)
+            self._decide(ctx, message.value, path="slow", ballot=message.ballot)
 
     # ------------------------------------------------------------------
     # Slow path: ballots.
@@ -419,6 +426,8 @@ class TwoStepProcess(Process):
         twin.initial_val = self.initial_val
         twin.proposer = self.proposer
         twin.decided = self.decided
+        twin.decided_path = self.decided_path
+        twin.decided_ballot = self.decided_ballot
         twin._fast_votes = {v: set(s) for v, s in self._fast_votes.items()}
         twin._slow_votes = {k: set(s) for k, s in self._slow_votes.items()}
         twin._oneb_reports = {
@@ -505,9 +514,18 @@ class TwoStepProcess(Process):
     # Decisions.
     # ------------------------------------------------------------------
 
-    def _decide(self, ctx: Context, value: MaybeValue) -> None:
+    def _decide(self, ctx: Context, value: MaybeValue, path: str, ballot: int) -> None:
         self.val = value
         self.decided = value
+        self.decided_path = path
+        self.decided_ballot = ballot
+        obs = ctx.obs
+        obs.registry.inc(
+            "consensus.decisions_fast" if path == "fast" else "consensus.decisions_slow"
+        )
+        obs.trace.emit(
+            "decide", pid=self.pid, path=path, ballot=ballot, value=repr(value), t=ctx.now
+        )
         ctx.decide(value)
         ctx.cancel_timer(BALLOT_TIMER)
         if self.config.broadcast_decide:
@@ -519,6 +537,14 @@ class TwoStepProcess(Process):
             return
         self.val = value
         self.decided = value
+        self.decided_path = "learned"
+        self.decided_ballot = None
+        obs = ctx.obs
+        obs.registry.inc("consensus.decisions_learned")
+        obs.trace.emit(
+            "decide", pid=self.pid, path="learned", ballot=None, value=repr(value),
+            t=ctx.now,
+        )
         ctx.decide(value)
         ctx.cancel_timer(BALLOT_TIMER)
 

@@ -26,6 +26,12 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 from ..core.errors import ConfigurationError, SchedulerError
 from ..core.messages import Message
 from ..core.process import CLIENT, Context, Process, ProcessFactory, ProcessId
+from ..obs import (
+    Observability,
+    merge_decision_records,
+    merge_snapshots,
+    message_label,
+)
 from ..core.runs import (
     CrashRecord,
     DecideRecord,
@@ -74,6 +80,10 @@ class _SimulationContext(Context):
     @property
     def n(self) -> int:
         return self._simulation.n
+
+    @property
+    def obs(self) -> Observability:
+        return self._simulation.obs[self._pid]
 
     def send(self, dst: ProcessId, message: Message) -> None:
         self._simulation._send(self._pid, dst, message)
@@ -130,6 +140,11 @@ class Simulation:
         self.crash_plan.validate_for(n, f)
         self.delivery_priority = delivery_priority
         self.time = 0.0
+        # One metrics registry per simulated node — the exact shape the
+        # live runtime exposes, so fast-path ratios cross-check directly.
+        self.obs: List[Observability] = [
+            Observability(node=pid) for pid in range(n)
+        ]
         self.run_record = Run(n, dict(proposals or {}))
         self.processes: List[Process] = [factory(pid, n) for pid in range(n)]
         self._crashed: set = set()
@@ -251,6 +266,9 @@ class Simulation:
         if isinstance(event, DeliveryEvent):
             if event.receiver in self._crashed:
                 return
+            self.obs[event.receiver].registry.inc(
+                f"recv.{message_label(event.message)}"
+            )
             self.run_record.add(
                 DeliverRecord(
                     time=self.time,
@@ -271,6 +289,7 @@ class Simulation:
             if self._timer_generation.get(key, 0) != event.generation:
                 return  # stale: re-armed or cancelled since scheduling
             self._timer_deadline.pop(key, None)
+            self.obs[event.pid].registry.inc("timer.fired")
             self.run_record.add(
                 TimerFiredRecord(time=self.time, pid=event.pid, name=event.name)
             )
@@ -291,6 +310,7 @@ class Simulation:
     def _send(self, sender: ProcessId, receiver: ProcessId, message: Message) -> None:
         if not 0 <= receiver < self.n:
             raise SchedulerError(f"send to unknown process {receiver}")
+        self.obs[sender].registry.inc(f"sent.{message_label(message)}")
         self.run_record.add(
             SendRecord(time=self.time, sender=sender, receiver=receiver, message=message)
         )
@@ -310,6 +330,7 @@ class Simulation:
         if delay < 0:
             raise SchedulerError(f"timer delay must be non-negative, got {delay}")
         key = (pid, name)
+        self.obs[pid].registry.inc("timer.set")
         generation = self._timer_generation.get(key, 0) + 1
         self._timer_generation[key] = generation
         deadline = self.time + delay
@@ -321,9 +342,47 @@ class Simulation:
 
     def _cancel_timer(self, pid: ProcessId, name: str) -> None:
         key = (pid, name)
+        self.obs[pid].registry.inc("timer.cancel")
         if key in self._timer_generation:
             self._timer_generation[key] += 1
             self._timer_deadline.pop(key, None)
 
     def _decide(self, pid: ProcessId, value: MaybeValue) -> None:
         self.run_record.add(DecideRecord(time=self.time, pid=pid, value=value))
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+
+    def node_snapshot(self, pid: ProcessId) -> dict:
+        """One node's metrics snapshot, in the live runtime's exact shape.
+
+        Includes per-slot decision records when the process exposes them
+        (the SMR replica does, via ``decision_records()``), so a seeded
+        simulation and a live cluster run can be compared slot by slot.
+        """
+        snapshot = self.obs[pid].snapshot()
+        records = getattr(self.processes[pid], "decision_records", None)
+        if callable(records):
+            snapshot["decisions"] = records()
+        return snapshot
+
+    def stats(self) -> dict:
+        """Cluster-wide merged view: counters, gauges, histograms, slots.
+
+        Mirrors what ``repro stats`` / ``loadgen --stats`` assemble from
+        live :class:`~repro.net.wire.StatsReply` messages, which is what
+        lets the E3/E4 benchmarks cross-check the simulated fast-path
+        ratio against a live cluster's.
+        """
+        per_node = {pid: self.node_snapshot(pid) for pid in range(self.n)}
+        merged = merge_snapshots(per_node.values())
+        decisions = merge_decision_records(
+            {pid: snap.get("decisions", ()) for pid, snap in per_node.items()}
+        )
+        return {
+            "nodes": per_node,
+            "merged": merged,
+            "decisions": decisions,
+            "fast_path_ratio": decisions["fast_path_ratio"],
+        }

@@ -43,6 +43,7 @@ from ..core.errors import ConfigurationError
 from ..core.messages import Message
 from ..core.process import ClientRequest, Context, Process, ProcessFactory, ProcessId
 from ..core.values import BOTTOM, is_bottom
+from ..obs import Observability, PATH_LEARNED, decision_record
 from ..omega import OmegaFactory, OmegaService, StaticOmega
 from ..protocols.twostep import TwoStepConfig, TwoStepProcess
 from .kvstore import (
@@ -108,6 +109,12 @@ class _SlotContext(Context):
     def n(self) -> int:
         return self._outer.n
 
+    @property
+    def obs(self) -> Observability:
+        # Inner consensus instances share the replica's node-level sink,
+        # so their fast/slow decision counters land in one registry.
+        return self._outer.obs
+
     def send(self, dst: ProcessId, message: Message) -> None:
         self._outer.send(dst, Slotted(self._slot, message))
 
@@ -166,6 +173,8 @@ class SMRReplica(Process):
         self.submissions: Dict[str, float] = {}  # command_id -> submit time
         self.commit_times: Dict[str, float] = {}  # command_id -> slot decide time
         self.results: Dict[str, Tuple[Any, float]] = {}  # id -> (result, apply time)
+        self.decision_log: Dict[int, Dict[str, Any]] = {}  # slot -> decision record
+        self._slot_proposed: Dict[int, float] = {}  # slot -> my first propose time
 
     # ------------------------------------------------------------------
     # Activations.
@@ -240,6 +249,7 @@ class SMRReplica(Process):
             inner.propose(_SlotContext(ctx, self, slot), value)
             if inner.initial_val == value:
                 self._inflight[slot] = value
+                self._slot_proposed.setdefault(slot, ctx.now)
             else:
                 # Refused (slot already voted); retry on the next decide.
                 for command in reversed(picked):
@@ -280,9 +290,30 @@ class SMRReplica(Process):
         decided: SlotValue = value
         self.decided[slot] = decided
         self.decide_times[slot] = ctx.now
+        inner = self._slots.get(slot)
+        path = getattr(inner, "decided_path", None) or PATH_LEARNED
+        proposed = self._slot_proposed.get(slot)
+        slot_latency = (ctx.now - proposed) if proposed is not None else None
+        self.decision_log[slot] = decision_record(
+            slot=slot,
+            path=path,
+            ballot=getattr(inner, "decided_ballot", None),
+            value_id=_value_id(decided),
+            latency_seconds=slot_latency,
+            decided_at=ctx.now,
+        )
+        registry = ctx.obs.registry
+        registry.inc("smr.slots_decided")
         for command in commands_in(decided):
             if command.command_id:
                 self.commit_times.setdefault(command.command_id, ctx.now)
+                submitted = self.submissions.get(command.command_id)
+                if submitted is not None:
+                    # Proxy-observed commit latency, split by decision path
+                    # so the 2Δ fast path is visible next to recovery.
+                    latency = ctx.now - submitted
+                    registry.observe("smr.commit_seconds", latency)
+                    registry.observe(f"smr.commit_seconds.{path}", latency)
         mine = self._inflight.pop(slot, None)
         if mine is not None and mine != decided:
             # Lost the slot race: put my uncommitted commands back at the
@@ -328,7 +359,9 @@ class SMRReplica(Process):
                 filler = KVCommand(
                     op="noop", key="", command_id=f"__noop:{self.pid}:{slot}__"
                 )
+                ctx.obs.registry.inc("smr.gap_repair_noops")
                 inner.propose(_SlotContext(ctx, self, slot), filler)
+                self._slot_proposed.setdefault(slot, ctx.now)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -342,6 +375,23 @@ class SMRReplica(Process):
         if command_id not in self.submissions or command_id not in self.commit_times:
             return None
         return self.commit_times[command_id] - self.submissions[command_id]
+
+    def decision_records(self) -> list:
+        """JSON-safe per-slot decision records (tagged fast/slow/learned).
+
+        Both runtimes ship these in stats snapshots under ``"decisions"``;
+        :func:`repro.obs.merge_decision_records` folds them cluster-wide.
+        """
+        return [self.decision_log[slot] for slot in sorted(self.decision_log)]
+
+
+def _value_id(value: SlotValue) -> str:
+    """Stable identifier for a slot value, used in decision records."""
+    for attr in ("batch_id", "command_id"):
+        vid = getattr(value, attr, None)
+        if vid:
+            return str(vid)
+    return repr(value)
 
 
 def smr_factory(

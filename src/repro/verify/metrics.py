@@ -13,6 +13,7 @@ multiprocessing overhead), which is the number the benchmarks track.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -31,9 +32,7 @@ def peak_rss_kb() -> int:
     if _resource is None:  # pragma: no cover - non-POSIX fallback
         return 0
     peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
-    import sys
-
-    if sys.platform == "darwin":  # pragma: no cover - macOS units
+    if sys.platform == "darwin":
         peak //= 1024
     return int(peak)
 

@@ -4,15 +4,18 @@ The CI ``cluster-smoke`` job runs exactly this module: a 3-node and a
 5-node (f=1, e=1) :class:`LocalCluster` serving ~200 KV commands in total
 while the highest-pid node is crash-stopped mid-run. Every command must
 complete (after failover), survivors must converge to identical applied
-logs, and the replicated-log safety checker must stay silent. Each
-scenario is wrapped in a hard ``asyncio.wait_for`` so a wedged cluster
-fails the test instead of hanging the job.
+logs, and the replicated-log safety checker must stay silent. The stats
+endpoint is scraped mid-run — with the crashed node still in the address
+book — and must report ballot-0 fast decisions and conflict-free merged
+per-slot records. Each scenario is wrapped in a hard ``asyncio.wait_for``
+so a wedged cluster fails the test instead of hanging the job.
 """
 
 import asyncio
 
 from repro.net.cluster import LocalCluster
 from repro.net.loadgen import run_loadgen
+from repro.net.stats import scrape_cluster
 from repro.omega import static_omega_factory
 from repro.protocols.twostep import TwoStepConfig
 from repro.smr.client import check_logs_consistent, put_get_workload
@@ -58,6 +61,14 @@ async def _crash_and_serve(n: int, count: int, seed: int, clients: int):
             client_id_prefix=f"smoke{n}a",
         )
         await cluster.crash(n - 1)
+        # Mid-run scrape: the dead node is still in the address book, so
+        # the scraper must tolerate it while the survivors keep serving.
+        mid = await scrape_cluster(cluster.addresses, codec=cluster.codec)
+        assert mid["unreachable"] == [n - 1]
+        assert mid["nodes"][n - 1] is None
+        counters = mid["merged"]["counters"]
+        assert counters.get("consensus.decisions_fast", 0) > 0
+        assert mid["decisions"]["conflicts"] == []
         after = await run_loadgen(
             cluster.addresses,
             clients=clients,
@@ -87,6 +98,16 @@ async def _crash_and_serve(n: int, count: int, seed: int, clients: int):
         assert all(log == logs[0] for log in logs)
         stores = [dict(replica.store.data) for replica in replicas]
         assert all(store == stores[0] for store in stores)
+
+        # Post-convergence scrape: merged per-slot decision records must
+        # be conflict-free (no two survivors claim different values for
+        # one slot) and the fast path must have fired under the stable
+        # pid-0 leader.
+        final = await scrape_cluster(cluster.addresses, codec=cluster.codec)
+        assert final["decisions"]["conflicts"] == []
+        assert final["merged"]["counters"]["consensus.decisions_fast"] > 0
+        assert final["fast_path_ratio"] is not None
+        assert final["decisions"]["slots"]
         return after
 
 

@@ -1,0 +1,52 @@
+"""The live runtime's structured logger: prefixing and idempotent setup."""
+
+import logging
+import os
+
+from repro.net.netlog import LOGGER_NAME, configure_logging, node_logger
+
+
+class TestNodeLogger:
+    def test_records_carry_node_and_os_pid_prefix(self, caplog):
+        logger = node_logger(3)
+        with caplog.at_level(logging.INFO, logger=LOGGER_NAME):
+            logger.info("peer %d unreachable", 0)
+        assert len(caplog.records) == 1
+        message = caplog.records[0].getMessage()
+        assert message.startswith(f"[node 3 pid={os.getpid()}] ")
+        assert message.endswith("peer 0 unreachable")
+
+    def test_quiet_by_default(self):
+        # Library discipline: a NullHandler, no propagation surprises —
+        # nothing reaches stderr until configure_logging() opts in.
+        package_logger = logging.getLogger(LOGGER_NAME)
+        assert any(
+            isinstance(handler, logging.NullHandler)
+            for handler in package_logger.handlers
+        )
+
+
+class TestConfigureLogging:
+    def _stream_handlers(self):
+        return [
+            handler
+            for handler in logging.getLogger(LOGGER_NAME).handlers
+            if getattr(handler, "_repro_stream_handler", False)
+        ]
+
+    def test_idempotent_and_level_adjustable(self):
+        logger = logging.getLogger(LOGGER_NAME)
+        original_level = logger.level
+        original_handlers = list(logger.handlers)
+        try:
+            configure_logging("info")
+            configure_logging("debug")  # must reconfigure, not stack
+            handlers = self._stream_handlers()
+            assert len(handlers) == 1
+            assert handlers[0].level == logging.DEBUG
+            assert logger.level == logging.DEBUG
+        finally:
+            for handler in self._stream_handlers():
+                logger.removeHandler(handler)
+            logger.setLevel(original_level)
+            assert logger.handlers == original_handlers

@@ -77,6 +77,37 @@ class TestPipelinedLoadgen:
 
         _run(live())
 
+    def test_pipelined_failures_surface_per_command(self):
+        """An unreachable cluster yields per-command errors, like closed-loop.
+
+        The pipelined worker must not collapse a failed window into one
+        opaque exception: every unfinished command shows up in
+        ``report.errors`` (and the report's ``errors_sample``), and
+        ``failed`` counts them — the same contract the closed-loop path
+        keeps.
+        """
+        count = 6
+
+        async def live():
+            # Nothing listens on port 1; every attempt fails fast.
+            return await run_loadgen(
+                [("127.0.0.1", 1)],
+                clients=2,
+                count=count,
+                pipeline=4,
+                timeout=0.2,
+                max_attempts=2,
+            )
+
+        report = _run(live())
+        assert report.completed == 0
+        assert report.failed == count
+        assert len(report.errors) == count
+        assert all("incomplete" in error for error in report.errors)
+        record = report.to_record()
+        assert record["failed"] == count
+        assert record["errors_sample"] == report.errors[:5]
+
 
 class TestRunPipelined:
     def test_empty_command_list_returns_no_replies(self):

@@ -1,0 +1,191 @@
+"""Live stats endpoint: scrape, merge, and the sim/live decision match.
+
+The acceptance check for the observability layer is at the bottom: the
+same seeded workload, run once through the simulator and once through a
+live :class:`LocalCluster`, must report the *same* per-slot decision
+paths and the same fast-path ratio — both runtimes count decisions
+through the one ``ctx.obs`` seam, so a divergence means one of them is
+lying about which commits took the 2Δ path.
+"""
+
+import asyncio
+
+from repro.net.cluster import LocalCluster
+from repro.net.loadgen import run_loadgen
+from repro.net.stats import describe_cluster_stats, fetch_node_stats, scrape_cluster
+from repro.obs import merge_decision_records, slot_paths
+from repro.omega import static_omega_factory
+from repro.protocols.twostep import TwoStepConfig
+from repro.smr.client import put_get_workload, run_kv_workload
+from repro.smr.log import smr_factory
+
+HARD_TIMEOUT = 60.0
+
+
+def _run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, HARD_TIMEOUT))
+
+
+def _factory(delta: float = 0.05, batch_size: int = 1, window: int = 1):
+    return smr_factory(
+        1,
+        1,
+        delta=delta,
+        omega_factory=static_omega_factory(0),
+        consensus_config=TwoStepConfig(f=1, e=1, delta=delta, is_object=True),
+        batch_size=batch_size,
+        window=window,
+    )
+
+
+class TestScrapeCluster:
+    def test_scrape_reports_fast_path_and_wire_counters(self):
+        ops = put_get_workload(12, keys=("k",), proxies=[0, 1, 2], seed=3)
+
+        async def live():
+            async with LocalCluster(3, _factory(), serve_clients=True) as cluster:
+                report = await run_loadgen(
+                    cluster.addresses, clients=2, ops=ops, codec=cluster.codec
+                )
+                assert report.failed == 0, report.errors
+                await cluster.wait_logs_converged(
+                    timeout=20.0, expected_commands=len(ops)
+                )
+                view = await scrape_cluster(cluster.addresses, codec=cluster.codec)
+                single = await fetch_node_stats(
+                    cluster.addresses[0], codec=cluster.codec
+                )
+                return view, single
+
+        view, single = _run(live())
+
+        assert view["unreachable"] == []
+        counters = view["merged"]["counters"]
+        assert counters["consensus.decisions_fast"] > 0
+        assert any(name.startswith("sent.") for name in counters)
+        assert any(name.startswith("sent_bytes.") for name in counters)
+        assert any(name.startswith("recv.") for name in counters)
+        assert counters.get("timer.set", 0) > 0
+        assert view["fast_path_ratio"] is not None
+        assert view["decisions"]["conflicts"] == []
+        assert view["decisions"]["slots"]
+        assert view["merged"]["histograms"]["smr.commit_seconds"]["count"] > 0
+        for snapshot in view["nodes"].values():
+            assert snapshot is not None
+            assert "decisions" in snapshot
+        text = describe_cluster_stats(view)
+        assert "fast-path ratio" in text
+
+        # Single-node fetch: the reply identifies itself and carries the
+        # same snapshot shape; no trace was requested, none rides along.
+        assert single.pid == 0
+        assert "counters" in single.snapshot
+        assert single.trace == ()
+
+    def test_trace_is_opt_in_and_carries_decide_events(self):
+        ops = put_get_workload(6, keys=("k",), proxies=[0, 1, 2], seed=4)
+
+        async def live():
+            async with LocalCluster(
+                3, _factory(), serve_clients=True, trace=True
+            ) as cluster:
+                report = await run_loadgen(
+                    cluster.addresses, clients=1, ops=ops, codec=cluster.codec
+                )
+                assert report.failed == 0, report.errors
+                await cluster.wait_logs_converged(
+                    timeout=20.0, expected_commands=len(ops)
+                )
+                plain = await scrape_cluster(cluster.addresses, codec=cluster.codec)
+                traced = await scrape_cluster(
+                    cluster.addresses, codec=cluster.codec, include_trace=True
+                )
+                return plain, traced
+
+        plain, traced = _run(live())
+
+        # Without include_trace the events stay on the node.
+        assert "traces" not in plain
+        # Trace-enabled nodes report their retained window in snapshots.
+        assert plain["nodes"][0]["trace_events"] > 0
+        assert "traces" in traced
+        events = [event for trace in traced["traces"].values() for event in trace]
+        assert any(event["kind"] == "decide" for event in events)
+        for trace in traced["traces"].values():
+            sequences = [event["seq"] for event in trace]
+            assert sequences == sorted(sequences)
+
+    def test_loadgen_collects_stats_into_the_record(self):
+        ops = put_get_workload(8, keys=("k",), proxies=[0, 1, 2], seed=5)
+
+        async def live():
+            async with LocalCluster(3, _factory(), serve_clients=True) as cluster:
+                return await run_loadgen(
+                    cluster.addresses,
+                    clients=2,
+                    ops=ops,
+                    codec=cluster.codec,
+                    collect_stats=True,
+                )
+
+        report = _run(live())
+        assert report.failed == 0, report.errors
+        assert report.cluster_stats is not None
+        record = report.to_record()
+        assert record["errors_sample"] == []
+        assert record["fast_path_ratio"] is not None
+        assert record["decisions_fast"] > 0
+        merged = record["cluster_stats"]["merged"]["counters"]
+        assert merged["consensus.decisions_fast"] == record["decisions_fast"]
+
+
+class TestLiveMatchesSimulated:
+    def test_same_workload_same_decision_paths(self):
+        """Live and simulated runs agree on every slot's decision path."""
+        ops = put_get_workload(
+            count=15, keys=("alpha", "beta"), proxies=[0, 1, 2], seed=11
+        )
+
+        # Simulated side: spaced schedule, stable leader — same setup the
+        # batched-equivalence test proves decides identical logs.
+        outcome = run_kv_workload(
+            _factory(1.0, batch_size=4, window=2),
+            n=3,
+            ops=ops,
+            until=len(ops) * 3.0 + 60.0,
+        )
+        assert not outcome.unfinished
+        sim_merged = merge_decision_records(
+            {
+                pid: replica.decision_records()
+                for pid, replica in enumerate(outcome.replicas)
+            }
+        )
+        assert sim_merged["conflicts"] == []
+
+        async def live():
+            async with LocalCluster(
+                3, _factory(0.5, batch_size=4, window=2), serve_clients=True
+            ) as cluster:
+                report = await run_loadgen(
+                    cluster.addresses, clients=1, ops=ops, codec=cluster.codec
+                )
+                assert report.failed == 0, report.errors
+                await cluster.wait_logs_converged(
+                    timeout=20.0, expected_commands=len(ops)
+                )
+                return await scrape_cluster(cluster.addresses, codec=cluster.codec)
+
+        view = _run(live())
+
+        assert view["decisions"]["conflicts"] == []
+        assert slot_paths(view["decisions"]) == slot_paths(sim_merged)
+        assert view["fast_path_ratio"] == sim_merged["fast_path_ratio"]
+        sim_values = {
+            slot: record["value_id"] for slot, record in sim_merged["slots"].items()
+        }
+        live_values = {
+            slot: record["value_id"]
+            for slot, record in view["decisions"]["slots"].items()
+        }
+        assert live_values == sim_values

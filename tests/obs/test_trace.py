@@ -1,0 +1,144 @@
+"""Unit tests for the flight-recorder trace and decision-record merge."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    PATH_FAST,
+    PATH_LEARNED,
+    PATH_SLOW,
+    NullTrace,
+    TraceRecorder,
+    decision_record,
+    merge_decision_records,
+    slot_paths,
+)
+
+
+class TestTraceRecorder:
+    def test_records_in_order_with_fields(self):
+        trace = TraceRecorder(capacity=8)
+        trace.emit("decide", slot=0, path="fast")
+        trace.emit("timer", t=1.5)
+        events = trace.events()
+        assert [event["kind"] for event in events] == ["decide", "timer"]
+        assert events[0] == {"seq": 0, "kind": "decide", "slot": 0, "path": "fast"}
+        assert events[1]["t"] == 1.5
+        assert len(trace) == 2
+        assert trace.dropped == 0
+
+    def test_ring_evicts_oldest_first(self):
+        trace = TraceRecorder(capacity=3)
+        for index in range(5):
+            trace.emit("e", index=index)
+        events = trace.events()
+        # Two oldest evicted; the retained window is the most recent 3.
+        assert [event["index"] for event in events] == [2, 3, 4]
+        assert trace.dropped == 2
+        assert len(trace) == 3
+
+    def test_eviction_never_renumbers_seq(self):
+        trace = TraceRecorder(capacity=2)
+        for _ in range(5):
+            trace.emit("e")
+        # seq keeps climbing; the gap at the front shows dropped history.
+        assert [event["seq"] for event in trace.events()] == [3, 4]
+        trace.emit("e")
+        assert trace.events()[-1]["seq"] == 5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_clear(self):
+        trace = TraceRecorder(capacity=4)
+        trace.emit("e")
+        trace.clear()
+        assert len(trace) == 0
+        trace.emit("e")
+        assert trace.events()[0]["seq"] == 1  # seq survives clear
+
+    def test_dump_jsonl_to_stream(self):
+        trace = TraceRecorder(capacity=4)
+        trace.emit("decide", slot=1)
+        trace.emit("decide", slot=2)
+        sink = io.StringIO()
+        assert trace.dump_jsonl(sink) == 2
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["slot"] == 1
+        assert json.loads(lines[1])["slot"] == 2
+
+    def test_dump_jsonl_to_path(self, tmp_path):
+        trace = TraceRecorder(capacity=4)
+        trace.emit("e", index=7)
+        path = tmp_path / "trace.jsonl"
+        assert trace.dump_jsonl(str(path)) == 1
+        assert json.loads(path.read_text().strip())["index"] == 7
+
+    def test_null_trace_is_inert(self):
+        trace = NullTrace()
+        trace.emit("anything", heavy="payload")
+        assert len(trace) == 0
+        assert trace.events() == []
+        assert trace.enabled is False
+        assert TraceRecorder.enabled is True
+
+
+class TestMergeDecisionRecords:
+    def test_fast_beats_slow_beats_learned(self):
+        per_node = {
+            0: [decision_record(slot=0, path=PATH_LEARNED, ballot=None, value_id="v")],
+            1: [decision_record(slot=0, path=PATH_FAST, ballot=0, value_id="v")],
+            2: [decision_record(slot=0, path=PATH_SLOW, ballot=2, value_id="v")],
+        }
+        merged = merge_decision_records(per_node)
+        slot = merged["slots"][0]
+        assert slot["path"] == PATH_FAST
+        assert slot["ballot"] == 0
+        assert slot["paths"] == {0: PATH_LEARNED, 1: PATH_FAST, 2: PATH_SLOW}
+        assert merged["fast_slots"] == 1 and merged["slow_slots"] == 0
+        assert merged["fast_path_ratio"] == 1.0
+        assert merged["conflicts"] == []
+
+    def test_all_learned_slot_is_excluded_from_ratio(self):
+        per_node = {
+            0: [decision_record(slot=3, path=PATH_LEARNED, ballot=None, value_id="v")],
+        }
+        merged = merge_decision_records(per_node)
+        assert merged["slots"][3]["path"] == PATH_LEARNED
+        assert merged["fast_path_ratio"] is None
+
+    def test_value_disagreement_is_a_conflict(self):
+        per_node = {
+            0: [decision_record(slot=0, path=PATH_FAST, ballot=0, value_id="a")],
+            1: [decision_record(slot=0, path=PATH_FAST, ballot=0, value_id="b")],
+        }
+        merged = merge_decision_records(per_node)
+        assert len(merged["conflicts"]) == 1
+        assert "slot 0" in merged["conflicts"][0]
+
+    def test_latency_backfills_from_any_node(self):
+        per_node = {
+            0: [decision_record(slot=0, path=PATH_LEARNED, ballot=None, value_id="v")],
+            1: [
+                decision_record(
+                    slot=0, path=PATH_FAST, ballot=0, value_id="v", latency_seconds=0.2
+                )
+            ],
+        }
+        merged = merge_decision_records(per_node)
+        assert merged["slots"][0]["latency_seconds"] == 0.2
+
+    def test_slot_paths_view(self):
+        per_node = {
+            0: [
+                decision_record(slot=0, path=PATH_FAST, ballot=0, value_id="v"),
+                decision_record(slot=1, path=PATH_SLOW, ballot=1, value_id="w"),
+            ],
+        }
+        merged = merge_decision_records(per_node)
+        assert slot_paths(merged) == {0: PATH_FAST, 1: PATH_SLOW}
+        assert merged["fast_path_ratio"] == 0.5

@@ -79,6 +79,41 @@ class TestPeakRss:
         # On this (POSIX) platform the counter is live and in KiB.
         assert peak_rss_kb() >= 0
 
+    def test_darwin_normalizes_bytes_to_kib(self, monkeypatch):
+        """macOS reports ``ru_maxrss`` in bytes; the helper returns KiB."""
+        from repro.verify import metrics as metrics_module
+
+        class _Usage:
+            ru_maxrss = 300 * 1024  # 300 KiB expressed in bytes
+
+        class _Resource:
+            RUSAGE_SELF = 0
+
+            @staticmethod
+            def getrusage(_who):
+                return _Usage()
+
+        monkeypatch.setattr(metrics_module, "_resource", _Resource)
+        monkeypatch.setattr(metrics_module.sys, "platform", "darwin")
+        assert peak_rss_kb() == 300
+
+    def test_linux_passes_kib_through(self, monkeypatch):
+        from repro.verify import metrics as metrics_module
+
+        class _Usage:
+            ru_maxrss = 4096  # already KiB on Linux
+
+        class _Resource:
+            RUSAGE_SELF = 0
+
+            @staticmethod
+            def getrusage(_who):
+                return _Usage()
+
+        monkeypatch.setattr(metrics_module, "_resource", _Resource)
+        monkeypatch.setattr(metrics_module.sys, "platform", "linux")
+        assert peak_rss_kb() == 4096
+
 
 class TestMetricsRecorder:
     def test_finish_carries_counters(self):
