@@ -1,6 +1,6 @@
 """Live cluster throughput: baseline vs batched/pipelined, plus E10 sim.
 
-Two benches over the same 3-node :class:`~repro.net.cluster.LocalCluster`
+Three benches over the same 3-node :class:`~repro.net.cluster.LocalCluster`
 (asyncio TCP, unchanged Figure 1 machines):
 
 * ``bench_net_live_vs_simulated`` — the PR-2 bench, unchanged knobs
@@ -13,6 +13,11 @@ Two benches over the same 3-node :class:`~repro.net.cluster.LocalCluster`
   open-loop pipelined clients (``pipeline`` outstanding per connection,
   pinned to the Ω-leader proxy). Emits a before/after table and persists
   the machine-readable rows to ``results/baseline_net.json``.
+* ``bench_net_durability_overhead`` — the same batched/pipelined load
+  with the :mod:`repro.storage` WAL enabled, fsync off vs on. Group
+  commit (one fsync per activation, not per record) is what keeps the
+  durable run within budget; the retention ratio is persisted to
+  ``results/durability_net.json`` next to ``baseline_net.json``.
 
 The optimized configuration uses ``window=1``: in this in-process
 harness every node shares one event loop, so slot round-trips are
@@ -26,6 +31,7 @@ latency, ``window > 1`` is what overlaps it.
 import asyncio
 import json
 import pathlib
+import tempfile
 
 from repro.analysis import render_records
 from repro.net.cluster import LocalCluster
@@ -34,6 +40,7 @@ from repro.omega import static_omega_factory
 from repro.protocols.twostep import TwoStepConfig
 from repro.smr.client import put_get_workload, run_kv_workload
 from repro.smr.log import smr_factory
+from repro.storage import atomic_write_text
 
 from conftest import RESULTS_DIR, emit
 
@@ -65,10 +72,14 @@ def _factory(delta, batch=1, window=1):
     )
 
 
-def _drive(batch, window, pipeline, clients, count):
+def _drive(batch, window, pipeline, clients, count, data_dir=None, fsync=True):
     async def run():
         async with LocalCluster(
-            N, _factory(DELTA_LIVE, batch, window), serve_clients=True
+            N,
+            _factory(DELTA_LIVE, batch, window),
+            serve_clients=True,
+            data_dir=data_dir,
+            fsync=fsync,
         ) as cluster:
             report = await run_loadgen(
                 cluster.addresses,
@@ -205,9 +216,9 @@ def bench_net_batched_throughput(once):
             "seed": SEED,
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (pathlib.Path(RESULTS_DIR) / "baseline_net.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(
+        pathlib.Path(RESULTS_DIR) / "baseline_net.json",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
     )
     assert batched["completed"] == BATCHED_COMMANDS
     assert speedup >= MIN_SPEEDUP, (
@@ -216,4 +227,81 @@ def bench_net_batched_throughput(once):
     assert batched["commit_p50_ms"] <= baseline["commit_p50_ms"] * P50_SLACK, (
         "batched commit p50 regressed: "
         f"{batched['commit_p50_ms']}ms vs baseline {baseline['commit_p50_ms']}ms"
+    )
+
+
+# ----------------------------------------------------------------------
+# Bench 3: durability overhead (WAL + group-commit fsync vs no fsync).
+# ----------------------------------------------------------------------
+
+DURABLE_COMMANDS = 3000
+
+#: Conservative floor on throughput retention with fsync on. Group
+#: commit amortizes one fsync over a whole activation's records, so the
+#: durable run typically keeps well over half the no-fsync throughput;
+#: the gate only catches a collapse (per-record fsync regressions).
+MIN_DURABLE_RATIO = 0.30
+
+
+def _durability_rows():
+    rows = []
+    for label, fsync in (("wal, no fsync", False), ("wal + fsync", True)):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as data_dir:
+            report = _drive(
+                BATCH,
+                WINDOW,
+                PIPELINE,
+                BATCHED_CLIENTS,
+                DURABLE_COMMANDS,
+                data_dir=data_dir,
+                fsync=fsync,
+            )
+        row = {"config": label, "fsync": fsync}
+        row.update(report.to_record())
+        rows.append(row)
+    return rows
+
+
+def bench_net_durability_overhead(once):
+    no_fsync, durable = once(_durability_rows)
+    ratio = durable["throughput_per_sec"] / no_fsync["throughput_per_sec"]
+    summary = (
+        f"durable throughput retention: {ratio:.2f}x of no-fsync "
+        f"({no_fsync['throughput_per_sec']:,.0f}/s -> "
+        f"{durable['throughput_per_sec']:,.0f}/s)"
+    )
+    emit(
+        "net_durability_overhead",
+        render_records(
+            [no_fsync, durable],
+            title="NET — durability overhead (3 nodes, batched + pipelined)",
+        )
+        + "\n"
+        + summary,
+    )
+    payload = {
+        "no_fsync_throughput_per_sec": no_fsync["throughput_per_sec"],
+        "durable_throughput_per_sec": durable["throughput_per_sec"],
+        "durable_ratio": round(ratio, 3),
+        "no_fsync_commit_p50_ms": no_fsync["commit_p50_ms"],
+        "durable_commit_p50_ms": durable["commit_p50_ms"],
+        "config": {
+            "n": N,
+            "delta": DELTA_LIVE,
+            "batch": BATCH,
+            "window": WINDOW,
+            "pipeline": PIPELINE,
+            "clients": BATCHED_CLIENTS,
+            "commands": DURABLE_COMMANDS,
+            "seed": SEED,
+        },
+    }
+    atomic_write_text(
+        pathlib.Path(RESULTS_DIR) / "durability_net.json",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    )
+    assert durable["completed"] == DURABLE_COMMANDS
+    assert ratio >= MIN_DURABLE_RATIO, (
+        f"fsync durability keeps only {ratio:.2f}x of no-fsync throughput "
+        f"(floor {MIN_DURABLE_RATIO}x) — group commit may be broken"
     )

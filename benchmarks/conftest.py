@@ -16,15 +16,20 @@ import pathlib
 
 import pytest
 
+from repro.storage import atomic_write_text
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def emit(name: str, text: str) -> None:
-    """Print a table and persist it for EXPERIMENTS.md bookkeeping."""
+    """Print a table and persist it for EXPERIMENTS.md bookkeeping.
+
+    Written atomically (temp + rename): an interrupted benchmark run
+    leaves the previous artifact intact instead of a truncated table.
+    """
     print()
     print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
 
 
 @pytest.fixture

@@ -13,6 +13,7 @@ Usage::
     python -m repro cluster --n 3        # boot a live KV cluster (asyncio TCP)
     python -m repro loadgen --peers ...  # drive a live cluster, report latency
     python -m repro stats --peers ...    # scrape + merge a cluster's metrics
+    python -m repro recover --data-dir D # inspect WAL/snapshot state on disk
     python -m repro all                  # everything (a few minutes)
 """
 
@@ -296,6 +297,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 factory,
                 client_service=KVService(),
                 trace=args.trace,
+                data_dir=args.data_dir,
+                fsync=not args.no_fsync,
+                snapshot_every=args.snapshot_every,
             )
             await node.bind()
             print(f"node {args.node} serving on {node.host}:{node.port}")
@@ -333,6 +337,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 base_port=args.base_port,
                 on_ready=announce,
                 trace=args.trace,
+                data_dir=args.data_dir,
+                fsync=not args.no_fsync,
+                snapshot_every=args.snapshot_every,
             )
         )
     except KeyboardInterrupt:
@@ -414,9 +421,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if report.cluster_traces is not None:
         payload["traces"] = report.cluster_traces
     if args.record is not None:
-        path = pathlib.Path(args.record)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+        from .storage import atomic_write_text
+
+        # Temp-then-rename: a run killed mid-write never leaves a
+        # truncated JSON record behind.
+        path = atomic_write_text(
+            pathlib.Path(args.record),
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        )
         print(f"run record written to {path}", file=sys.stderr)
     if args.json:
         _emit_json(payload)
@@ -428,6 +440,52 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
             print(f"cluster: {describe_cluster_stats(report.cluster_stats)}")
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .net.codec import MessageCodec
+    from .storage import inspect_data_dir
+
+    root = pathlib.Path(args.data_dir)
+    if not root.is_dir():
+        print(f"no such data directory: {root}", file=sys.stderr)
+        return 2
+    rows = inspect_data_dir(root, MessageCodec())
+    if args.json:
+        _emit_json(rows)
+        return 0
+    if not rows:
+        print(f"{root}: no node-<pid> directories found")
+        return 1
+    for row in rows:
+        meta = row["meta"]
+        bound = (
+            f" (last bound {meta['host']}:{meta['port']})"
+            if "host" in meta and "port" in meta
+            else ""
+        )
+        print(f"{row['node']}{bound}:")
+        for snap in row["snapshots"]:
+            print(
+                f"  snapshot upto slot {snap['upto']} "
+                f"(replays WAL from segment {snap['wal_seq']}): {snap['file']}"
+            )
+        if not row["snapshots"]:
+            print("  no snapshots (recovery replays the WAL from scratch)")
+        for seg in row["segments"]:
+            torn = " TORN TAIL (truncated on recovery)" if seg["torn_tail"] else ""
+            print(
+                f"  {seg['file']}: {seg['records']} record(s), "
+                f"{seg['bytes']} valid byte(s){torn}"
+            )
+        print(
+            f"  WAL totals: {row['wal_decisions']} decision(s), "
+            f"{row['wal_slot_states']} slot-state record(s), "
+            f"max slot {row['max_slot_seen']}"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -559,6 +617,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["debug", "info", "warning", "error"],
         help="emit runtime logs (node id + pid prefixed) at this level",
     )
+    cluster.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="journal + snapshot each node under DIR/node-<pid>/ and "
+        "recover from it on restart (default: in-memory, crash-stop)",
+    )
+    cluster.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="with --data-dir: skip fsync on WAL group commits (still "
+        "writes through to the OS; survives process crash, not power loss)",
+    )
+    cluster.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=256,
+        help="with --data-dir: snapshot + rotate the WAL every this many "
+        "applied slots (default 256)",
+    )
     cluster.set_defaults(fn=_cmd_cluster)
     stats = sub.add_parser(
         "stats", help="scrape a live cluster's metrics and merge them"
@@ -634,6 +712,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(default benchmarks/results/loadgen_last.json)",
     )
     loadgen.set_defaults(fn=_cmd_loadgen)
+    recover = sub.add_parser(
+        "recover",
+        help="inspect a cluster data directory: snapshots, WAL segments, torn tails",
+    )
+    recover.add_argument(
+        "--data-dir", required=True, help="directory holding node-<pid>/ subdirectories"
+    )
+    recover.add_argument(
+        "--json", action="store_true", help="emit the inspection as JSON"
+    )
+    recover.set_defaults(fn=_cmd_recover)
     return parser
 
 

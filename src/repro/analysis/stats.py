@@ -27,7 +27,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     if low == high:
         return ordered[low]
     fraction = rank - low
-    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+    # lerp as low + (high-low)*f, not low*(1-f) + high*f: the two-product
+    # form can round above max(values) when both endpoints are equal
+    # subnormals; this form is exact whenever the endpoints coincide.
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
 
 def mean(values: Sequence[float]) -> float:

@@ -47,6 +47,8 @@ from .wire import (
     ClientReply,
     ClientSubmit,
     NodeHello,
+    SnapshotChunk,
+    SnapshotRequest,
     StatsReply,
     StatsRequest,
 )
@@ -69,6 +71,8 @@ __all__ = [
     "NodeHello",
     "NodeServer",
     "PipelineError",
+    "SnapshotChunk",
+    "SnapshotRequest",
     "StatsReply",
     "StatsRequest",
     "WIRE_VERSION",

@@ -51,6 +51,10 @@ class LocalCluster:
         host: str = "127.0.0.1",
         base_port: int = 0,
         trace: bool = False,
+        data_dir: Optional[str] = None,
+        fsync: bool = True,
+        snapshot_every: int = 256,
+        outbox_limit: Optional[int] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one node, got n={n}")
@@ -58,22 +62,45 @@ class LocalCluster:
         self.codec = codec if codec is not None else MessageCodec()
         if client_service_factory is None and serve_clients:
             client_service_factory = KVService
+        # Everything restart(pid) needs to rebuild a node in place.
+        self._factory = factory
+        self._client_service_factory = client_service_factory
+        self._host = host
+        self._trace = trace
+        self._data_dir = data_dir
+        self._fsync = fsync
+        self._snapshot_every = snapshot_every
+        self._outbox_limit = outbox_limit
         self.nodes: List[NodeServer] = [
-            NodeServer(
-                pid,
-                n,
-                factory,
-                codec=self.codec,
-                host=host,
-                port=(base_port + pid) if base_port else 0,
-                client_service=(
-                    client_service_factory() if client_service_factory else None
-                ),
-                trace=trace,
-            )
+            self._build_node(pid, port=(base_port + pid) if base_port else 0)
             for pid in range(n)
         ]
+        # Bound port per pid, recorded at first bind. With base_port=0 the
+        # OS assigns ephemeral ports; pinning them here lets a restarted
+        # node come back at the *same* address, so survivors' reconnect
+        # loops find it without any address-book churn.
+        self._ports: List[Optional[int]] = [None] * n
         self._started = False
+
+    def _build_node(self, pid: ProcessId, port: int) -> NodeServer:
+        return NodeServer(
+            pid,
+            self.n,
+            self._factory,
+            codec=self.codec,
+            host=self._host,
+            port=port,
+            client_service=(
+                self._client_service_factory()
+                if self._client_service_factory
+                else None
+            ),
+            trace=self._trace,
+            data_dir=self._data_dir,
+            fsync=self._fsync,
+            snapshot_every=self._snapshot_every,
+            outbox_limit=self._outbox_limit,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -82,6 +109,7 @@ class LocalCluster:
     async def start(self) -> "LocalCluster":
         for node in self.nodes:
             await node.bind()
+            self._ports[node.pid] = node.port
         addresses = self.addresses
         for node in self.nodes:
             await node.launch(addresses)
@@ -112,6 +140,37 @@ class LocalCluster:
         node = self.nodes[pid]
         if not node.crashed:
             await node.stop()
+
+    async def kill(self, pid: ProcessId) -> None:
+        """SIGKILL-style crash: like :meth:`crash`, but any WAL records
+        buffered since the last group commit are dropped, not flushed —
+        recovery must cope with the resulting torn/missing tail."""
+        node = self.nodes[pid]
+        if not node.crashed:
+            await node.stop(hard=True)
+
+    async def restart(self, pid: ProcessId) -> NodeServer:
+        """Bring a crashed node back at its recorded port, recovered.
+
+        Builds a fresh :class:`NodeServer` (fresh process instance, fresh
+        metrics), rebinds the port pinned at first bind, recovers from
+        the shared data directory during launch, and swaps it into
+        ``self.nodes`` so survivor/convergence helpers see it again.
+        Survivors' sender tasks reconnect on their own (same address) and
+        re-send any retained outbound backlog; the catch-up task pulls a
+        peer snapshot for everything older than that.
+        """
+        node = self.nodes[pid]
+        if not node.crashed:
+            raise ConfigurationError(f"node {pid} is alive; crash it before restart")
+        port = self._ports[pid]
+        if port is None:
+            raise ConfigurationError(f"node {pid} was never bound; cannot restart")
+        replacement = self._build_node(pid, port=port)
+        self.nodes[pid] = replacement
+        await replacement.bind()
+        await replacement.launch(self.addresses)
+        return replacement
 
     @property
     def survivors(self) -> List[NodeServer]:
@@ -186,6 +245,9 @@ async def run_cluster(
     base_port: int = 0,
     on_ready: Optional[Callable[[LocalCluster], None]] = None,
     trace: bool = False,
+    data_dir: Optional[str] = None,
+    fsync: bool = True,
+    snapshot_every: int = 256,
 ) -> LocalCluster:
     """Boot a cluster, optionally run for *duration* seconds, and stop.
 
@@ -193,7 +255,14 @@ async def run_cluster(
     cluster runs until cancelled (Ctrl-C).
     """
     cluster = LocalCluster(
-        n, factory, serve_clients=serve_clients, base_port=base_port, trace=trace
+        n,
+        factory,
+        serve_clients=serve_clients,
+        base_port=base_port,
+        trace=trace,
+        data_dir=data_dir,
+        fsync=fsync,
+        snapshot_every=snapshot_every,
     )
     await cluster.start()
     if on_ready is not None:

@@ -41,7 +41,8 @@ schedulers, carried over to the wire.
 The :class:`MessageRegistry` maps dataclass names to classes. The default
 registry (:func:`default_registry`) walks every concrete
 :class:`~repro.core.messages.Message` subclass defined by ``core``,
-``omega``, ``protocols``, ``smr``, and :mod:`repro.net.wire`, plus the
+``omega``, ``protocols``, ``smr``, ``storage`` (WAL records share the
+wire encoding), and :mod:`repro.net.wire`, plus the
 payload structs that ride inside messages (``KVCommand``, EPaxos
 ``Command``). Version or registry mismatches raise :class:`CodecError`
 rather than decoding garbage.
@@ -141,6 +142,7 @@ def default_registry() -> MessageRegistry:
     from ..protocols.epaxos import messages as _epaxos_messages
     from ..smr import log as _smr_log  # noqa: F401
     from ..smr.kvstore import CommandBatch, KVCommand
+    from ..storage import records as _storage_records  # noqa: F401
     from . import wire as _wire  # noqa: F401
 
     registry = MessageRegistry()

@@ -50,6 +50,12 @@ from ..core.process import CLIENT, Context, Process, ProcessFactory, ProcessId
 from ..core.values import MaybeValue
 from ..obs import Observability, TraceRecorder, message_label
 from ..smr.log import SMRReplica, SubmitCommand
+from ..storage.recovery import (
+    NodeStorage,
+    ReplicaPersister,
+    fetch_snapshot,
+    snapshot_chunks,
+)
 from .codec import CodecError, MessageCodec, read_frame, read_frame_sized
 from .netlog import node_logger
 from .wire import (
@@ -57,6 +63,8 @@ from .wire import (
     ClientReply,
     ClientSubmit,
     NodeHello,
+    SnapshotChunk,
+    SnapshotRequest,
     StatsReply,
     StatsRequest,
 )
@@ -221,11 +229,20 @@ class NodeServer:
         reconnect_max: float = 1.0,
         obs: Optional[Observability] = None,
         trace: bool = False,
+        data_dir: Optional[str] = None,
+        fsync: bool = True,
+        snapshot_every: int = 256,
+        catch_up: bool = True,
+        outbox_limit: Optional[int] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one process, got n={n}")
         if not 0 <= pid < n:
             raise ConfigurationError(f"pid {pid} out of range for n={n}")
+        if outbox_limit is not None and outbox_limit < 1:
+            raise ConfigurationError(
+                f"outbox_limit must be positive or None, got {outbox_limit}"
+            )
         self.pid = pid
         self.n = n
         self.codec = codec if codec is not None else MessageCodec()
@@ -243,6 +260,22 @@ class NodeServer:
         )
         self.log = node_logger(pid)
         self.process: Process = factory(pid, n)
+
+        # Durability: present only when a data directory was given and the
+        # hosted process is an SMR replica (the only stateful process).
+        self.data_dir = data_dir
+        self._catch_up_enabled = catch_up
+        self.outbox_limit = outbox_limit
+        self.persister: Optional[ReplicaPersister] = None
+        if data_dir is not None and isinstance(self.process, SMRReplica):
+            self.persister = ReplicaPersister(
+                NodeStorage(data_dir, pid),
+                self.process,
+                self.codec,
+                obs=self.obs,
+                fsync=fsync,
+                snapshot_every=snapshot_every,
+            )
 
         self.decisions: List[Tuple[float, MaybeValue]] = []
         self.errors: List[BaseException] = []
@@ -283,6 +316,10 @@ class NodeServer:
             self._on_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.persister is not None:
+            # Record the bound address so a restart (same data dir) can
+            # rebind the same port and peers reconnect deterministically.
+            self.persister.storage.update_meta(host=self.host, port=self.port)
         return self.address
 
     async def launch(self, addresses: Sequence[Address]) -> None:
@@ -296,6 +333,19 @@ class NodeServer:
         self._addresses = list(addresses)
         loop = asyncio.get_event_loop()
         self._t0 = loop.time()
+        if self.persister is not None:
+            # Rebuild from snapshot + WAL before the process wakes up, so
+            # on_start (and everything after) sees the recovered state.
+            result = self.persister.recover()
+            if result.recovered_anything:
+                self.log.info(
+                    "recovered: snapshot upto %d + %d WAL record(s) "
+                    "(%d segment(s), %d torn)",
+                    result.snapshot.upto if result.snapshot else 0,
+                    result.replayed_entries,
+                    result.segments_scanned,
+                    result.torn_segments,
+                )
         for peer in range(self.n):
             if peer == self.pid:
                 continue
@@ -303,9 +353,17 @@ class NodeServer:
             self._outbox_wake[peer] = asyncio.Event()
             self._tasks.append(loop.create_task(self._peer_sender(peer)))
         self._activate(lambda ctx: self.process.on_start(ctx))
+        if self.persister is not None and self._catch_up_enabled and self.n > 1:
+            self._tasks.append(loop.create_task(self._catch_up_from_peers()))
 
-    async def stop(self) -> None:
-        """Crash-stop this node: no further activations, links die."""
+    async def stop(self, hard: bool = False) -> None:
+        """Crash-stop this node: no further activations, links die.
+
+        ``hard=True`` models SIGKILL for the durability layer: buffered
+        (never-committed) WAL records are dropped instead of flushed, so
+        tests exercise real recovery from a torn tail, not a graceful
+        shutdown that quietly fsyncs everything.
+        """
         self._crashed = True
         for handle in self._timer_handles.values():
             handle.cancel()
@@ -329,7 +387,9 @@ class NodeServer:
             except Exception as exc:
                 self.log.debug("closing inbound connection raised %r", exc)
         self._writers.clear()
-        self.log.info("stopped (crash-stop)")
+        if self.persister is not None:
+            self.persister.close(hard=hard)
+        self.log.info("stopped (crash-stop%s)", ", hard" if hard else "")
 
     # ------------------------------------------------------------------
     # Activations (all synchronous, all on the event loop thread).
@@ -346,6 +406,12 @@ class NodeServer:
             self.log.exception("activation raised %r", exc)
             raise
         finally:
+            # Persist before polling the client service: replies must not
+            # leave for a decision that is not yet durable. Both run
+            # before this activation returns to the event loop, i.e.
+            # before any sender task can write this activation's frames.
+            if self.persister is not None and not self._crashed:
+                self.persister.after_activation()
             if self.client_service is not None and not self._crashed:
                 self.client_service.poll(self)
 
@@ -387,6 +453,16 @@ class NodeServer:
     def _enqueue(self, dst: ProcessId, frame: bytes) -> None:
         queue = self._outbox[dst]
         queue.append(frame)
+        if self.outbox_limit is not None and len(queue) > self.outbox_limit:
+            # Bounded retransmit buffer: against a long-dead peer the
+            # oldest frames are shed, degrading that link from reliable
+            # to fair-lossy. Correctness is preserved by gap repair and
+            # snapshot state transfer — which is exactly what a restarted
+            # node uses to catch up instead of the shed backlog.
+            dropped = len(queue) - self.outbox_limit
+            for _ in range(dropped):
+                queue.popleft()
+            self.obs.registry.inc(f"net.outbox_dropped.p{dst}", dropped)
         # High-water mark of this peer's outbound queue: sustained growth
         # means the link (or the peer) is slower than the offered load.
         self.obs.registry.gauge_max(f"net.outbox_hwm.p{dst}", len(queue))
@@ -563,6 +639,9 @@ class NodeServer:
                     return
                 if isinstance(request, StatsRequest):
                     replies.put_nowait(self._stats_reply(request))
+                elif isinstance(request, SnapshotRequest):
+                    for chunk in self._snapshot_reply(request):
+                        replies.put_nowait(chunk)
                 elif (
                     isinstance(request, ClientSubmit)
                     and self.client_service is not None
@@ -584,6 +663,73 @@ class NodeServer:
                 batch.append(replies.get_nowait())
             writer.write(b"".join(self.codec.encode(reply) for reply in batch))
             await writer.drain()
+
+    def _snapshot_reply(self, request: SnapshotRequest) -> List[SnapshotChunk]:
+        """Serve a state-transfer request from the *live* replica.
+
+        Serialization happens synchronously on the event loop, so the
+        shipped state is a consistent point-in-time view (no activation
+        can interleave). Non-replica processes answer with a terminal
+        ``upto=-1`` chunk so the fetcher can move on to the next peer.
+        """
+        if not isinstance(self.process, SMRReplica):
+            return [
+                SnapshotChunk(
+                    request_id=request.request_id, seq=0, last=True, upto=-1, payload=""
+                )
+            ]
+        chunks = snapshot_chunks(self.codec, self.process, request.request_id)
+        self.obs.registry.inc("storage.snapshots_served")
+        return chunks
+
+    # ------------------------------------------------------------------
+    # Catch-up: pull a peer's state instead of replaying history.
+    # ------------------------------------------------------------------
+
+    async def _catch_up_from_peers(
+        self, rounds: int = 5, initial_delay: float = 0.25
+    ) -> None:
+        """Fetch and install a peer snapshot while behind the cluster.
+
+        Runs once after launch (only on storage-enabled nodes): each
+        round asks peers — nearest pid first — for their live state and
+        installs it when their applied frontier is ahead of ours. Stops
+        when no reachable peer is ahead (fresh boots converge on the
+        first round) or after *rounds* installs; from there the normal
+        message flow keeps the node current.
+        """
+        assert self.persister is not None
+        await asyncio.sleep(initial_delay)
+        replica = self.process
+        for _ in range(rounds):
+            if self._crashed:
+                return
+            progressed = False
+            for step in range(1, self.n):
+                peer = (self.pid + step) % self.n
+                try:
+                    state = await fetch_snapshot(
+                        self._addresses[peer],
+                        self.codec,
+                        client_id=f"catchup-{self.pid}",
+                        timeout=5.0,
+                    )
+                except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, CodecError):
+                    continue
+                if state is None or self._crashed:
+                    continue
+                installed = self.persister.install_remote(state)
+                if installed > 0:
+                    self.log.info(
+                        "caught up from peer %d: +%d log entries (frontier %d)",
+                        peer,
+                        installed,
+                        replica.applied_upto,
+                    )
+                    progressed = True
+                    break
+            if not progressed:
+                return
 
     # ------------------------------------------------------------------
     # Observability.
@@ -620,12 +766,16 @@ def start_node(
     codec: Optional[MessageCodec] = None,
     client_service: Optional[ClientService] = None,
     trace: bool = False,
+    data_dir: Optional[str] = None,
+    fsync: bool = True,
+    snapshot_every: int = 256,
 ) -> NodeServer:
     """Build a node for slot *pid* of *addresses* (not yet bound).
 
     Convenience for the ``python -m repro cluster --node`` deployment
     path; the caller still awaits :meth:`NodeServer.bind` and
-    :meth:`NodeServer.launch`.
+    :meth:`NodeServer.launch`. With *data_dir* the node journals to
+    ``<data_dir>/node-<pid>/`` and recovers from it on the next start.
     """
     host, port = addresses[pid]
     return NodeServer(
@@ -637,4 +787,7 @@ def start_node(
         port=port,
         client_service=client_service,
         trace=trace,
+        data_dir=data_dir,
+        fsync=fsync,
+        snapshot_every=snapshot_every,
     )

@@ -140,6 +140,16 @@ def describe_cluster_stats(view: Dict[str, Any]) -> str:
         parts.append(f"CONFLICTS: {view['decisions']['conflicts']}")
     if view["unreachable"]:
         parts.append(f"unreachable nodes: {view['unreachable']}")
+    if any(name.startswith("storage.") for name in counters):
+        parts.append(
+            "storage: "
+            f"{counters.get('storage.wal_appends', 0)} wal appends / "
+            f"{counters.get('storage.wal_fsyncs', 0)} fsyncs, "
+            f"{counters.get('storage.snapshots_written', 0)} snapshots, "
+            f"{counters.get('storage.replayed_entries', 0)} replayed, "
+            f"{counters.get('storage.snapshot_transfers', 0)} transfers "
+            f"({counters.get('storage.transferred_entries', 0)} entries)"
+        )
     sent = sum(
         value for name, value in counters.items() if name.startswith("sent_bytes.")
     )

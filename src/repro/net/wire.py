@@ -75,6 +75,42 @@ class ClientReply(Message):
 
 
 @dataclass(frozen=True)
+class SnapshotRequest(Message):
+    """Ask a node for its live replica state (sent on a client link).
+
+    The server answers with a stream of :class:`SnapshotChunk` frames
+    carrying one serialized snapshot document (the exact format
+    ``repro.storage.snapshot`` writes to disk — state transfer is a
+    snapshot that never touches disk). ``from_slot`` is advisory: the
+    current server always ships full state (the applied log is the
+    convergence witness, so partial transfer would need a log-digest
+    protocol); it exists so a future incremental server stays
+    wire-compatible.
+    """
+
+    request_id: str
+    from_slot: int = 0
+
+
+@dataclass(frozen=True)
+class SnapshotChunk(Message):
+    """One piece of a serialized replica state.
+
+    ``upto`` is the serving replica's applied frontier at serialization
+    time; ``upto < 0`` means the node hosts no SMR replica and the
+    request cannot be served. ``seq`` orders chunks, ``last`` marks the
+    end of the stream; concatenating the ``payload`` strings in sequence
+    yields the snapshot document.
+    """
+
+    request_id: str
+    seq: int
+    last: bool
+    upto: int
+    payload: str
+
+
+@dataclass(frozen=True)
 class StatsRequest(Message):
     """Ask a node for its observability snapshot (sent on a client link).
 

@@ -140,10 +140,14 @@ def check_logs_consistent(replicas: Sequence[SMRReplica]) -> List[Violation]:
                 Violation("log-agreement", f"slot {slot} diverges: {detail}")
             )
 
-    min_applied = min((replica.applied_upto for replica in replicas), default=0)
+    # Prefix check over the *applied command log*, not the decided map:
+    # durable replicas truncate decided slots below their snapshot
+    # frontier, but the applied log is the convergence witness and is
+    # never truncated in memory.
+    min_applied = min((len(replica.store.log) for replica in replicas), default=0)
     reference = None
     for replica in replicas:
-        prefix = [replica.decided[s].command_id for s in range(min_applied)]
+        prefix = [c.command_id for c in replica.store.log[:min_applied]]
         if reference is None:
             reference = (replica.pid, prefix)
         elif prefix != reference[1]:

@@ -173,3 +173,26 @@ class KVStore:
 
     def snapshot(self) -> Dict[str, Any]:
         return dict(self.data)
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Full-fidelity state for durability: data, ids, and the log.
+
+        :meth:`snapshot` is the *observable* state (the map); restore
+        needs the applied-id set (idempotence must survive a restart) and
+        the applied command log (the cross-replica convergence witness
+        checked by ``check_logs_consistent`` and the cluster tests).
+        """
+        return {
+            "data": dict(self.data),
+            "applied_ids": set(self.applied_ids),
+            "log": list(self.log),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "KVStore":
+        """Rebuild a store from :meth:`snapshot_state` output."""
+        store = cls()
+        store.data = dict(state["data"])
+        store.applied_ids = set(state["applied_ids"])
+        store.log = list(state["log"])
+        return store

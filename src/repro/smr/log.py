@@ -175,6 +175,11 @@ class SMRReplica(Process):
         self.results: Dict[str, Tuple[Any, float]] = {}  # id -> (result, apply time)
         self.decision_log: Dict[int, Dict[str, Any]] = {}  # slot -> decision record
         self._slot_proposed: Dict[int, float] = {}  # slot -> my first propose time
+        # Slots whose inner state may have changed this activation; the
+        # durability layer drains this after every activation to journal
+        # only genuine changes. Bounded by ``_slots`` (same keys), so
+        # simulator runs without a persister pay one set-add per touch.
+        self.dirty_slots: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Activations.
@@ -190,6 +195,13 @@ class SMRReplica(Process):
         if isinstance(message, SubmitCommand):
             self.submit(ctx, message.command)
         elif isinstance(message, Slotted):
+            if message.slot < self.applied_upto and message.slot not in self._slots:
+                # The slot was applied and its machinery truncated away
+                # (snapshot/restore): this is a straggler or a re-sent
+                # burst for settled history. Recreating the instance would
+                # re-run a finished race for nothing.
+                ctx.obs.registry.inc("smr.stale_slot_msgs")
+                return
             inner = self._slot(ctx, message.slot)
             inner.on_message(_SlotContext(ctx, self, message.slot), sender, message.inner)
 
@@ -203,6 +215,8 @@ class SMRReplica(Process):
         if name.startswith(SLOT_TIMER_PREFIX):
             slot_text, _, inner_name = name[len(SLOT_TIMER_PREFIX):].partition(":")
             slot = int(slot_text)
+            if slot < self.applied_upto and slot not in self._slots:
+                return  # timer outlived its truncated slot
             inner = self._slot(ctx, slot)
             inner.on_timer(_SlotContext(ctx, self, slot), inner_name)
 
@@ -276,6 +290,7 @@ class SMRReplica(Process):
     # ------------------------------------------------------------------
 
     def _slot(self, ctx: Context, slot: int) -> TwoStepProcess:
+        self.dirty_slots.add(slot)
         if slot not in self._slots:
             inner = TwoStepProcess(
                 self.pid, self.n, self.config, omega=_SharedOmega(self.omega)
@@ -331,6 +346,111 @@ class SMRReplica(Process):
                 if command.command_id in self.submissions:
                     self.results.setdefault(command.command_id, (result, ctx.now))
             self.applied_upto += 1
+
+    # ------------------------------------------------------------------
+    # Durability seams (used by repro.storage; no Context required).
+    # ------------------------------------------------------------------
+
+    def restore_store(self, state: Dict[str, Any], applied_upto: int) -> None:
+        """Adopt a snapshot's store and applied frontier wholesale.
+
+        Safe whenever *state* comes from a replica whose frontier is at or
+        beyond ours: decided logs are prefix-consistent, so the incoming
+        applied log extends the local one.
+        """
+        self.store = KVStore.from_state(state)
+        self.applied_upto = applied_upto
+
+    def restore_decided(self, slot: int, value: SlotValue) -> bool:
+        """Re-learn a decided slot offline (WAL replay / state transfer).
+
+        Applies any newly-ready prefix. Returns ``False`` for slots that
+        are already decided or below the applied frontier, which makes
+        replaying a WAL segment that predates the loaded snapshot a
+        harmless no-op.
+        """
+        if slot < self.applied_upto or slot in self.decided:
+            return False
+        self.decided[slot] = value
+        self.decide_times.setdefault(slot, 0.0)
+        for command in commands_in(value):
+            if command.command_id:
+                self.commit_times.setdefault(command.command_id, 0.0)
+        self._inflight.pop(slot, None)
+        while self.applied_upto in self.decided:
+            for command in commands_in(self.decided[self.applied_upto]):
+                self.store.apply(command)
+            self.applied_upto += 1
+        return True
+
+    def restore_slot_state(
+        self,
+        slot: int,
+        bal: int,
+        vbal: int,
+        value: Any,
+        initial_value: Any,
+        sent_twoa: Tuple[int, ...] = (),
+    ) -> bool:
+        """Restore one undecided slot's journaled ballot/vote state.
+
+        Rebuilds the inner consensus instance with its promise (``bal``),
+        vote (``vbal``/``val``), own proposal, and the set of ballots this
+        node already coordinated a ``TwoA`` for — the exact state whose
+        amnesia could make a restarted node act incompatibly at a ballot
+        it already participated in. ``on_start`` is deliberately not run
+        (there is no live Context during replay); the slot wakes up on
+        the first inbound message or gap-repair pass.
+        """
+        if slot < self.applied_upto or slot in self.decided:
+            return False
+        inner = self._slots.get(slot)
+        if inner is None:
+            inner = TwoStepProcess(
+                self.pid, self.n, self.config, omega=_SharedOmega(self.omega)
+            )
+            self._slots[slot] = inner
+        inner.bal = bal
+        inner.vbal = vbal
+        inner.val = value
+        inner.initial_val = initial_value
+        inner._sent_twoa = set(sent_twoa)
+        if not is_bottom(initial_value):
+            self._inflight.setdefault(slot, initial_value)
+            self._slot_proposed.setdefault(slot, 0.0)
+        return True
+
+    def truncate_below(self, slot: int) -> int:
+        """Drop per-slot machinery below *slot* (capped at the frontier).
+
+        Called after a snapshot covers the applied prefix: the decided
+        map, inner instances, and proposal bookkeeping for applied slots
+        only serve stragglers, which ``on_message`` now drops. In-flight
+        commands of truncated slots that never committed are re-queued —
+        the slot race they were losing is settled, so they belong in a
+        fresh slot. The in-memory ``store.log`` is *not* truncated: it is
+        the convergence witness; bounding it is the durable artifacts'
+        job. Returns the number of slots dropped.
+        """
+        slot = min(slot, self.applied_upto)
+        removed = 0
+        for stale in [s for s in self.decided if s < slot]:
+            del self.decided[stale]
+            self.decide_times.pop(stale, None)
+            removed += 1
+        for stale in [s for s in self._slots if s < slot]:
+            del self._slots[stale]
+            self._slot_proposed.pop(stale, None)
+            mine = self._inflight.pop(stale, None)
+            if mine is not None:
+                for command in reversed(commands_in(mine)):
+                    if (
+                        command.command_id not in self.commit_times
+                        and command.command_id not in self.store.applied_ids
+                    ):
+                        self._queue.appendleft(command)
+        self.dirty_slots = {s for s in self.dirty_slots if s >= slot}
+        return removed
 
     # ------------------------------------------------------------------
     # Gap repair.

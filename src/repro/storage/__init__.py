@@ -1,0 +1,67 @@
+"""Durability subsystem: WAL, snapshots, retention, and recovery.
+
+``repro.storage`` gives the live runtime crash-*recovery* on top of the
+model's crash-stop semantics. A node launched with a data directory
+journals safety-critical consensus state to an append-only, CRC-framed,
+group-commit-fsynced write-ahead log before externalizing it; rolls the
+applied prefix into atomic snapshots with WAL rotation and a retention
+policy; and on restart rebuilds its replica from snapshot+WAL, then
+catches up from a peer's live state over the wire
+(``SnapshotRequest``/``SnapshotChunk``) instead of replaying history.
+
+See ``docs/DURABILITY.md`` for the on-disk formats and the recovery
+flow, and ``tests/net/test_crash_recovery.py`` for the end-to-end
+kill → restart → rejoin → converge exercise.
+"""
+
+from .files import atomic_write_bytes, atomic_write_text
+from .records import WalDecision, WalSlotState, decode_record, encode_record
+from .recovery import (
+    NodeStorage,
+    RecoveryResult,
+    ReplicaPersister,
+    fetch_snapshot,
+    inspect_data_dir,
+    install_state,
+    snapshot_chunks,
+)
+from .retention import RetentionPolicy, RetentionReport
+from .snapshot import (
+    SnapshotInfo,
+    deserialize_replica_state,
+    latest_snapshot,
+    list_snapshots,
+    load_snapshot,
+    serialize_replica_state,
+    write_snapshot,
+)
+from .wal import WriteAheadLog, list_segments, pack_record, scan_segment
+
+__all__ = [
+    "NodeStorage",
+    "RecoveryResult",
+    "ReplicaPersister",
+    "RetentionPolicy",
+    "RetentionReport",
+    "SnapshotInfo",
+    "WalDecision",
+    "WalSlotState",
+    "WriteAheadLog",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "decode_record",
+    "deserialize_replica_state",
+    "encode_record",
+    "fetch_snapshot",
+    "inspect_data_dir",
+    "install_state",
+    "latest_snapshot",
+    "list_segments",
+    "list_snapshots",
+    "load_snapshot",
+    "pack_record",
+    "scan_segment",
+    "serialize_replica_state",
+    "snapshot_chunks",
+    "write_snapshot",
+]

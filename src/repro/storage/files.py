@@ -1,0 +1,57 @@
+"""Atomic file writes shared by the durability layer and artifact writers.
+
+Every durable artifact in this repository — WAL-adjacent snapshots,
+``loadgen --record`` run records, benchmark tables — goes through
+write-to-temp-then-rename so a crash mid-write can never leave a
+truncated file behind: ``os.replace`` is atomic on POSIX, so readers see
+either the old content or the complete new content, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes, durable: bool = False) -> pathlib.Path:
+    """Write *data* to *path* atomically, creating parent directories.
+
+    With ``durable=True`` the temp file is fsynced before the rename and
+    the parent directory after it, so the replacement survives power loss
+    (the WAL/snapshot path); artifact writers skip the fsyncs — they only
+    need crash-*consistency*, not crash-*durability*.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    if durable:
+        _fsync_dir(target.parent)
+    return target
+
+
+def atomic_write_text(path: PathLike, text: str, durable: bool = False) -> pathlib.Path:
+    """Text flavour of :func:`atomic_write_bytes` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"), durable=durable)
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    """Flush a directory entry (no-op where directories can't be opened)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

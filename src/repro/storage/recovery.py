@@ -1,0 +1,474 @@
+"""Recovery orchestration: persist, replay, and transfer replica state.
+
+Three cooperating pieces, all built from the primitives in this package:
+
+* :class:`NodeStorage` — one node's data directory layout
+  (``<data_dir>/node-<pid>/`` holding WAL segments, snapshots, and a
+  small ``node.json`` with the bound port for stable restarts).
+* :class:`ReplicaPersister` — the live persistence hook. The node
+  runtime calls :meth:`ReplicaPersister.after_activation` at the end of
+  every activation, *before* the event loop yields: since activations
+  are synchronous and sender tasks only run when the loop yields, every
+  WAL record lands (and is group-commit fsynced) before any frame or
+  client reply produced by that activation can reach the wire — the
+  write-ahead property without per-record fsyncs.
+* Recovery + state transfer — :meth:`ReplicaPersister.recover` rebuilds
+  a replica from snapshot + WAL before launch; :func:`fetch_snapshot`
+  pulls a peer's *live* serialized state over the client-link protocol
+  (``SnapshotRequest`` → ``SnapshotChunk`` stream) and
+  :func:`install_state` grafts it in, which is how a restarted node
+  catches up without replaying the full message history. This is the
+  paper's recovery story made operational: the consensus-level rule
+  (1B value selection from n−f−e votes, Theorems 5/6) governs per-slot
+  recovery, while snapshot+WAL+transfer governs process recovery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs import Observability, NULL_OBS
+from .files import atomic_write_text
+from .records import WalDecision, WalSlotState, decode_record, encode_record
+from .retention import RetentionPolicy
+from .snapshot import (
+    SnapshotInfo,
+    deserialize_replica_state,
+    latest_snapshot,
+    list_snapshots,
+    load_snapshot,
+    serialize_replica_state,
+    write_snapshot,
+)
+from .wal import WriteAheadLog, list_segments, next_segment_seq, scan_segment
+
+#: SnapshotChunk payload size (characters of the JSON document per frame).
+TRANSFER_CHUNK_CHARS = 256 * 1024
+
+
+class NodeStorage:
+    """Directory layout for one node's durable state."""
+
+    def __init__(self, root: pathlib.Path, pid: int) -> None:
+        self.root = pathlib.Path(root)
+        self.pid = pid
+        self.dir = self.root / f"node-{pid}"
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    # -- WAL -----------------------------------------------------------
+    def segments(self) -> List[pathlib.Path]:
+        return list_segments(self.dir)
+
+    def new_segment(self, fsync: bool, obs: Observability = NULL_OBS) -> WriteAheadLog:
+        return WriteAheadLog.create(
+            self.dir, next_segment_seq(self.dir), fsync=fsync, obs=obs
+        )
+
+    # -- snapshots -----------------------------------------------------
+    def latest_snapshot(self) -> Optional[SnapshotInfo]:
+        return latest_snapshot(self.dir)
+
+    # -- metadata ------------------------------------------------------
+    @property
+    def meta_path(self) -> pathlib.Path:
+        return self.dir / "node.json"
+
+    def read_meta(self) -> Dict[str, Any]:
+        try:
+            return json.loads(self.meta_path.read_text())
+        except (OSError, ValueError):
+            return {}
+
+    def update_meta(self, **fields: Any) -> Dict[str, Any]:
+        meta = self.read_meta()
+        meta.update(fields)
+        atomic_write_text(self.meta_path, json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        return meta
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """What one local recovery pass rebuilt."""
+
+    snapshot: Optional[SnapshotInfo]
+    snapshot_entries: int  #: applied log entries restored from the snapshot
+    replayed_entries: int  #: WAL records applied on top of it
+    torn_segments: int  #: segments that ended in a torn tail
+    segments_scanned: int
+
+    @property
+    def recovered_anything(self) -> bool:
+        return self.snapshot is not None or self.replayed_entries > 0
+
+
+class ReplicaPersister:
+    """Durability + recovery driver for one live :class:`SMRReplica`."""
+
+    def __init__(
+        self,
+        storage: NodeStorage,
+        replica: Any,
+        codec: Any,
+        obs: Observability = NULL_OBS,
+        fsync: bool = True,
+        snapshot_every: int = 256,
+        retention: Optional[RetentionPolicy] = None,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        self.storage = storage
+        self.replica = replica
+        self.codec = codec
+        self.obs = obs
+        self.fsync = fsync
+        self.snapshot_every = snapshot_every
+        self.retention = retention if retention is not None else RetentionPolicy()
+        self._wal: Optional[WriteAheadLog] = None
+        # Durable-state caches: what the WAL/snapshot already covers, so
+        # after_activation journals only genuine changes.
+        self._durable_decided: set = set()
+        self._fingerprints: Dict[int, Tuple] = {}
+        self._last_snapshot_upto = 0
+        self.recovered: Optional[RecoveryResult] = None
+
+    # ------------------------------------------------------------------
+    # Recovery (before launch).
+    # ------------------------------------------------------------------
+
+    def recover(self) -> RecoveryResult:
+        """Rebuild the replica from snapshot + WAL; open a fresh segment."""
+        replica = self.replica
+        registry = self.obs.registry
+        info = self.storage.latest_snapshot()
+        snapshot_entries = 0
+        if info is not None:
+            state = load_snapshot(self.codec, info)
+            replica.restore_store(state["store"], state["applied_upto"])
+            snapshot_entries = len(replica.store.log)
+            for slot in sorted(state["decided_tail"]):
+                replica.restore_decided(slot, state["decided_tail"][slot])
+            self._last_snapshot_upto = replica.applied_upto
+            registry.inc("storage.snapshot_loaded")
+        replayed = 0
+        torn = 0
+        segments = self.storage.segments()
+        for segment in segments:
+            result = scan_segment(segment)
+            if result.torn:
+                torn += 1
+                registry.inc("storage.wal_torn_segments")
+            for payload in result.payloads:
+                record = decode_record(self.codec, payload)
+                if isinstance(record, WalDecision):
+                    if replica.restore_decided(record.slot, record.value):
+                        replayed += 1
+                elif isinstance(record, WalSlotState):
+                    if replica.restore_slot_state(
+                        record.slot,
+                        bal=record.bal,
+                        vbal=record.vbal,
+                        value=record.value,
+                        initial_value=record.initial_value,
+                        sent_twoa=record.sent_twoa,
+                    ):
+                        replayed += 1
+        registry.inc("storage.replayed_entries", replayed)
+        # All writes go to a brand-new segment: old ones stay read-only,
+        # so append-after-torn-tail-truncation can never corrupt history.
+        self._wal = self.storage.new_segment(self.fsync, obs=self.obs)
+        self._durable_decided = set(replica.decided)
+        self._fingerprints = {
+            slot: _fingerprint(inner) for slot, inner in replica._slots.items()
+        }
+        result = RecoveryResult(
+            snapshot=info,
+            snapshot_entries=snapshot_entries,
+            replayed_entries=replayed,
+            torn_segments=torn,
+            segments_scanned=len(segments),
+        )
+        self.recovered = result
+        if result.recovered_anything:
+            # Roll what we just replayed into a fresh snapshot so the next
+            # crash replays only post-restart records, and retention can
+            # retire the segments we just consumed.
+            self._write_snapshot()
+        return result
+
+    # ------------------------------------------------------------------
+    # The per-activation hook (the write-ahead property lives here).
+    # ------------------------------------------------------------------
+
+    def after_activation(self) -> None:
+        """Journal this activation's state changes, then group-commit."""
+        replica = self.replica
+        wal = self._wal
+        if wal is None:
+            return
+        dirty = replica.dirty_slots
+        if dirty:
+            for slot in sorted(dirty):
+                if slot in replica.decided:
+                    continue  # journaled as a decision below
+                inner = replica._slots.get(slot)
+                if inner is None:
+                    continue
+                fingerprint = _fingerprint(inner)
+                if self._fingerprints.get(slot) != fingerprint:
+                    self._fingerprints[slot] = fingerprint
+                    wal.append(
+                        encode_record(
+                            self.codec,
+                            WalSlotState(
+                                slot=slot,
+                                bal=inner.bal,
+                                vbal=inner.vbal,
+                                value=inner.val,
+                                initial_value=inner.initial_val,
+                                sent_twoa=tuple(sorted(inner._sent_twoa)),
+                            ),
+                        )
+                    )
+            dirty.clear()
+        if len(replica.decided) != len(self._durable_decided):
+            for slot, value in replica.decided.items():
+                if slot not in self._durable_decided:
+                    self._durable_decided.add(slot)
+                    wal.append(
+                        encode_record(self.codec, WalDecision(slot=slot, value=value))
+                    )
+        wal.commit()
+        if replica.applied_upto - self._last_snapshot_upto >= self.snapshot_every:
+            self._write_snapshot()
+
+    # ------------------------------------------------------------------
+    # Snapshots + rotation + retention.
+    # ------------------------------------------------------------------
+
+    def _write_snapshot(self) -> SnapshotInfo:
+        replica = self.replica
+        assert self._wal is not None
+        next_seq = self._wal.seq + 1
+        info = write_snapshot(self.storage.dir, self.codec, replica, wal_seq=next_seq)
+        # Rotate: the snapshot covers every record in segments < next_seq.
+        self._wal.close()
+        self._wal = WriteAheadLog.create(
+            self.storage.dir, next_seq, fsync=self.fsync, obs=self.obs
+        )
+        truncated = replica.truncate_below(replica.applied_upto)
+        self._durable_decided = set(replica.decided)
+        self._fingerprints = {
+            slot: _fingerprint(inner) for slot, inner in replica._slots.items()
+        }
+        self._last_snapshot_upto = info.upto
+        report = self.retention.apply(self.storage.dir)
+        registry = self.obs.registry
+        registry.inc("storage.snapshots_written")
+        registry.inc("storage.truncated_slots", truncated)
+        if report.deleted:
+            registry.inc("storage.retention_deleted_files", report.deleted)
+        return info
+
+    # ------------------------------------------------------------------
+    # State transfer (receiver side).
+    # ------------------------------------------------------------------
+
+    def install_remote(self, state: Dict[str, Any]) -> int:
+        """Install a peer's serialized state; returns new log entries.
+
+        A no-op (returns 0) unless the peer's applied frontier is ahead.
+        On install the local durable artifacts are refreshed immediately
+        (snapshot + rotation), so a crash right after catch-up does not
+        have to transfer again.
+        """
+        installed = install_state(self.replica, state)
+        if installed > 0:
+            registry = self.obs.registry
+            registry.inc("storage.snapshot_transfers")
+            registry.inc("storage.transferred_entries", installed)
+            self._write_snapshot()
+        return installed
+
+    # ------------------------------------------------------------------
+    # Shutdown.
+    # ------------------------------------------------------------------
+
+    def close(self, hard: bool = False) -> None:
+        """Close the WAL. ``hard=True`` models SIGKILL: drop the buffer."""
+        if self._wal is None:
+            return
+        if hard:
+            self._wal.abandon()
+        else:
+            self._wal.close()
+        self._wal = None
+
+
+def _fingerprint(inner: Any) -> Tuple:
+    """The safety-critical slice of one slot's consensus state."""
+    return (
+        inner.bal,
+        inner.vbal,
+        inner.val,
+        inner.initial_val,
+        tuple(sorted(inner._sent_twoa)),
+    )
+
+
+def install_state(replica: Any, state: Dict[str, Any]) -> int:
+    """Graft a serialized peer state onto *replica* if it is ahead.
+
+    Safe because decided logs are prefix-consistent across replicas: if
+    the peer's applied frontier is beyond ours, its applied command log
+    is an extension of ours, so replacing the store wholesale and jumping
+    the frontier preserves every local observation. Local slot machinery
+    below the new frontier is truncated (its races are already settled;
+    any of our uncommitted commands are re-queued by the truncation).
+    """
+    upto = state["applied_upto"]
+    if upto <= replica.applied_upto:
+        return 0
+    before = len(replica.store.log)
+    replica.restore_store(state["store"], upto)
+    for slot in sorted(state["decided_tail"]):
+        replica.restore_decided(slot, state["decided_tail"][slot])
+    replica.truncate_below(replica.applied_upto)
+    return len(replica.store.log) - before
+
+
+async def fetch_snapshot(
+    address: Tuple[str, int],
+    codec: Any,
+    client_id: str = "snapshot-fetch",
+    from_slot: int = 0,
+    timeout: float = 10.0,
+) -> Optional[Dict[str, Any]]:
+    """Pull one peer's live replica state over the client-link protocol.
+
+    Returns the decoded state tree, or ``None`` when the peer does not
+    host an SMR replica. Raises ``OSError``/``asyncio.TimeoutError``/
+    ``CodecError`` on transport problems — callers iterate peers and
+    tolerate individual failures.
+    """
+    from ..net.codec import read_frame
+    from ..net.wire import ClientHello, SnapshotChunk, SnapshotRequest
+
+    request_id = f"{client_id}:{uuid.uuid4().hex[:8]}"
+    reader, writer = await asyncio.wait_for(asyncio.open_connection(*address), timeout)
+    try:
+        writer.write(codec.encode(ClientHello(client_id)))
+        writer.write(codec.encode(SnapshotRequest(request_id=request_id, from_slot=from_slot)))
+        await writer.drain()
+        parts: List[str] = []
+        while True:
+            frame = await asyncio.wait_for(read_frame(reader, codec), timeout)
+            if not isinstance(frame, SnapshotChunk) or frame.request_id != request_id:
+                continue
+            if frame.upto < 0:
+                return None  # peer hosts no replica
+            parts.append(frame.payload)
+            if frame.last:
+                break
+        return deserialize_replica_state(codec, "".join(parts))
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+def snapshot_chunks(codec: Any, replica: Any, request_id: str) -> List[Any]:
+    """Serve side of state transfer: serialize + chunk a live replica."""
+    from ..net.wire import SnapshotChunk
+
+    text = serialize_replica_state(codec, replica)
+    upto = replica.applied_upto
+    chunks = []
+    total = max(1, (len(text) + TRANSFER_CHUNK_CHARS - 1) // TRANSFER_CHUNK_CHARS)
+    for seq in range(total):
+        part = text[seq * TRANSFER_CHUNK_CHARS : (seq + 1) * TRANSFER_CHUNK_CHARS]
+        chunks.append(
+            SnapshotChunk(
+                request_id=request_id,
+                seq=seq,
+                last=seq == total - 1,
+                upto=upto,
+                payload=part,
+            )
+        )
+    return chunks
+
+
+def inspect_data_dir(root: pathlib.Path, codec: Any) -> List[Dict[str, Any]]:
+    """Offline summary of every node directory under *root*.
+
+    Powers ``python -m repro recover``: per node, the retained snapshots,
+    each WAL segment's record count and torn-tail status, and the highest
+    slot any record mentions — without constructing a replica.
+    """
+    rows: List[Dict[str, Any]] = []
+    root = pathlib.Path(root)
+    for node_dir in sorted(root.glob("node-*")):
+        if not node_dir.is_dir():
+            continue
+        snapshots = [
+            {"file": info.path.name, "upto": info.upto, "wal_seq": info.wal_seq}
+            for info in list_snapshots(node_dir)
+        ]
+        decisions = 0
+        slot_states = 0
+        torn = 0
+        max_slot = -1
+        segments = []
+        for segment in list_segments(node_dir):
+            result = scan_segment(segment)
+            if result.torn:
+                torn += 1
+            for payload in result.payloads:
+                record = decode_record(codec, payload)
+                if isinstance(record, WalDecision):
+                    decisions += 1
+                    max_slot = max(max_slot, record.slot)
+                elif isinstance(record, WalSlotState):
+                    slot_states += 1
+                    max_slot = max(max_slot, record.slot)
+            segments.append(
+                {
+                    "file": segment.name,
+                    "records": len(result.payloads),
+                    "bytes": result.good_bytes,
+                    "torn_tail": result.torn,
+                }
+            )
+        rows.append(
+            {
+                "node": node_dir.name,
+                "snapshots": snapshots,
+                "segments": segments,
+                "wal_decisions": decisions,
+                "wal_slot_states": slot_states,
+                "torn_segments": torn,
+                "max_slot_seen": max_slot,
+                "meta": NodeStorage(root, int(node_dir.name.split("-", 1)[1])).read_meta()
+                if node_dir.name.split("-", 1)[1].isdigit()
+                else {},
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "NodeStorage",
+    "RecoveryResult",
+    "ReplicaPersister",
+    "TRANSFER_CHUNK_CHARS",
+    "fetch_snapshot",
+    "inspect_data_dir",
+    "install_state",
+    "snapshot_chunks",
+]

@@ -1,0 +1,135 @@
+"""Replica snapshots: full-fidelity state files that bound WAL replay.
+
+A snapshot captures everything a restarted :class:`~repro.smr.log.SMRReplica`
+needs to resume below its applied frontier — the ``KVStore`` (data,
+applied ids, *and* the applied command log, which is the cross-replica
+convergence witness), the frontier itself, and any decided-but-unapplied
+tail slots. State is rendered through the wire codec's tagged-JSON
+scheme, so commands, batches, and ``BOTTOM`` round-trip bit-exactly and
+a snapshot written by one node decodes on any other — which is also what
+makes the same serialization reusable for live state *transfer* over
+``SnapshotRequest``/``SnapshotChunk``.
+
+Files are named ``snapshot-<upto>-<walseq>.snap``: ``upto`` is the
+applied frontier covered, ``walseq`` the first WAL segment whose records
+postdate the snapshot. Writes go through the atomic temp-then-rename
+helper with fsync, so a crash mid-snapshot leaves the previous snapshot
+intact and the retention policy never sees a partial file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .files import atomic_write_text
+
+#: Bumped on incompatible snapshot tree changes.
+SNAPSHOT_FORMAT = 1
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})-(\d{8})\.snap$")
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """One snapshot file's identity, parsed from its name."""
+
+    path: pathlib.Path
+    upto: int  #: applied frontier covered (next slot awaiting application)
+    wal_seq: int  #: first WAL segment with records newer than this snapshot
+
+
+def snapshot_name(upto: int, wal_seq: int) -> str:
+    return f"snapshot-{upto:012d}-{wal_seq:08d}.snap"
+
+
+def list_snapshots(directory: pathlib.Path) -> List[SnapshotInfo]:
+    """All snapshots under *directory*, oldest first."""
+    found = []
+    for path in directory.glob("snapshot-*.snap"):
+        match = _SNAPSHOT_RE.match(path.name)
+        if match:
+            found.append(
+                SnapshotInfo(
+                    path=path, upto=int(match.group(1)), wal_seq=int(match.group(2))
+                )
+            )
+    found.sort(key=lambda info: (info.upto, info.wal_seq))
+    return found
+
+
+def latest_snapshot(directory: pathlib.Path) -> Optional[SnapshotInfo]:
+    snapshots = list_snapshots(directory)
+    return snapshots[-1] if snapshots else None
+
+
+def serialize_replica_state(codec: Any, replica: Any) -> str:
+    """Render *replica*'s durable state as one JSON document.
+
+    Shared by the on-disk snapshot writer and the live state-transfer
+    server (a peer serving ``SnapshotRequest`` serializes its *current*
+    state with this exact function — state transfer is just a snapshot
+    that never touches disk).
+    """
+    decided_tail = {
+        slot: value
+        for slot, value in replica.decided.items()
+        if slot >= replica.applied_upto
+    }
+    tree = {
+        "format": SNAPSHOT_FORMAT,
+        "applied_upto": replica.applied_upto,
+        "store": codec.to_jsonable(replica.store.snapshot_state()),
+        "decided_tail": codec.to_jsonable(decided_tail),
+        "log_entries": len(replica.store.log),
+    }
+    return json.dumps(tree, separators=(",", ":"), sort_keys=True)
+
+
+def deserialize_replica_state(codec: Any, text: str) -> Dict[str, Any]:
+    """Parse a snapshot document back into Python state.
+
+    Returns ``{"applied_upto", "store", "decided_tail", "log_entries"}``
+    with fully decoded values (commands, batches, sets).
+    """
+    tree = json.loads(text)
+    fmt = tree.get("format")
+    if fmt != SNAPSHOT_FORMAT:
+        raise ValueError(f"snapshot format {fmt!r}, expected {SNAPSHOT_FORMAT}")
+    return {
+        "applied_upto": int(tree["applied_upto"]),
+        "store": codec.from_jsonable(tree["store"]),
+        "decided_tail": codec.from_jsonable(tree["decided_tail"]),
+        "log_entries": int(tree.get("log_entries", 0)),
+    }
+
+
+def write_snapshot(
+    directory: pathlib.Path, codec: Any, replica: Any, wal_seq: int
+) -> SnapshotInfo:
+    """Atomically persist *replica*'s state; returns the new file's info."""
+    text = serialize_replica_state(codec, replica)
+    path = directory / snapshot_name(replica.applied_upto, wal_seq)
+    atomic_write_text(path, text, durable=True)
+    return SnapshotInfo(path=path, upto=replica.applied_upto, wal_seq=wal_seq)
+
+
+def load_snapshot(codec: Any, info: SnapshotInfo) -> Dict[str, Any]:
+    """Read and decode one snapshot file."""
+    return deserialize_replica_state(codec, info.path.read_text())
+
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SnapshotInfo",
+    "deserialize_replica_state",
+    "latest_snapshot",
+    "list_snapshots",
+    "load_snapshot",
+    "serialize_replica_state",
+    "snapshot_name",
+    "write_snapshot",
+]

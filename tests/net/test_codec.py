@@ -109,6 +109,7 @@ def _strategy_for_annotation(annotation: str) -> st.SearchStrategy:
         "Optional[Command]": st.one_of(st.none(), _epaxos_command()),
         "InstanceId": _instance_id,
         "FrozenSet[InstanceId]": st.frozensets(_instance_id, max_size=4),
+        "Tuple[int, ...]": st.lists(_small_int, max_size=4).map(tuple),
         "Tuple[Tuple[int, KVCommand], ...]": st.lists(
             st.tuples(_small_int, _kv_command), max_size=3
         ).map(tuple),

@@ -18,6 +18,7 @@ increments into per-message encoding work still fails it clearly.
 """
 
 import asyncio
+import tempfile
 
 from repro.net.cluster import LocalCluster
 from repro.net.loadgen import run_loadgen
@@ -51,9 +52,19 @@ def _batched_factory():
     )
 
 
-async def _pipelined_run(metrics: bool = True) -> float:
+#: Loose CI guard for the fsync-on/fsync-off ratio on a durable cluster.
+#: Group commit amortizes one fsync over a whole activation's records;
+#: a regression to per-record fsyncs collapses throughput far below this.
+FSYNC_GUARD = 0.25
+
+
+async def _pipelined_run(
+    metrics: bool = True, data_dir: str | None = None, fsync: bool = True
+) -> float:
     """One 1500-command pipelined run; returns throughput (commands/s)."""
-    cluster = LocalCluster(3, _batched_factory(), serve_clients=True)
+    cluster = LocalCluster(
+        3, _batched_factory(), serve_clients=True, data_dir=data_dir, fsync=fsync
+    )
     if not metrics:
         # LocalCluster has no obs knob by design (metrics are the
         # default); null every node's registry before launch instead.
@@ -94,6 +105,29 @@ def test_metrics_overhead_stays_bounded():
         assert with_metrics >= OVERHEAD_GUARD * without_metrics, (
             f"metrics-on throughput {with_metrics:,.0f}/s fell below "
             f"{OVERHEAD_GUARD:.0%} of metrics-off {without_metrics:,.0f}/s"
+        )
+
+    asyncio.run(asyncio.wait_for(live(), HARD_TIMEOUT))
+
+
+def test_fsync_overhead_stays_bounded():
+    """Group-commit fsync durability must stay within its budget.
+
+    Same durable cluster twice — WAL on in both runs, ``fsync`` on vs
+    off (the CLI's ``--no-fsync``) — so the ratio isolates the fsync
+    syscall cost from the journaling cost. The precise number lives in
+    ``benchmarks/bench_net.py`` (``results/durability_net.json``); this
+    guard only catches a collapse, e.g. losing the group in group commit.
+    """
+
+    async def live():
+        with tempfile.TemporaryDirectory(prefix="repro-smoke-wal-") as nofsync_dir:
+            without_fsync = await _pipelined_run(data_dir=nofsync_dir, fsync=False)
+        with tempfile.TemporaryDirectory(prefix="repro-smoke-wal-") as fsync_dir:
+            with_fsync = await _pipelined_run(data_dir=fsync_dir, fsync=True)
+        assert with_fsync >= FSYNC_GUARD * without_fsync, (
+            f"fsync-on throughput {with_fsync:,.0f}/s fell below "
+            f"{FSYNC_GUARD:.0%} of fsync-off {without_fsync:,.0f}/s"
         )
 
     asyncio.run(asyncio.wait_for(live(), HARD_TIMEOUT))

@@ -153,3 +153,84 @@ class TestCrashes:
             factory(), N, ops, until=120.0, crashes=CrashPlan.at_start([3, 4])
         )
         assert outcome.commit_latency.get("late") == 2.0
+
+
+def _put(slot, cid=None):
+    return KVCommand(
+        op="put", key=f"k{slot % 2}", value=slot, command_id=cid or f"c{slot}"
+    )
+
+
+class TestDurabilitySeams:
+    """The offline restore/truncate surface ``repro.storage`` drives."""
+
+    def _replica(self, pid=0):
+        return SMRReplica(pid, N, F, E)
+
+    def test_restore_decided_applies_ready_prefix(self):
+        replica = self._replica()
+        assert replica.restore_decided(1, _put(1))  # gap at 0: nothing applies
+        assert replica.applied_upto == 0
+        assert replica.restore_decided(0, _put(0))  # gap closes: both apply
+        assert replica.applied_upto == 2
+        assert [c.command_id for c in replica.store.log] == ["c0", "c1"]
+
+    def test_restore_decided_rejects_stale_and_duplicate(self):
+        replica = self._replica()
+        replica.restore_decided(0, _put(0))
+        assert not replica.restore_decided(0, _put(0))  # already decided
+        replica.truncate_below(replica.applied_upto)
+        assert not replica.restore_decided(0, _put(0))  # below the frontier
+
+    def test_truncate_at_boundary(self):
+        replica = self._replica()
+        for slot in range(3):
+            replica.restore_decided(slot, _put(slot))
+        assert replica.truncate_below(replica.applied_upto) == 3
+        assert replica.decided == {}
+        assert replica._slots == {}
+        # The applied log — the convergence witness — is untouched.
+        assert [c.command_id for c in replica.store.log] == ["c0", "c1", "c2"]
+        # Truncation is idempotent and capped at the frontier.
+        assert replica.truncate_below(10_000) == 0
+
+    def test_truncate_then_append(self):
+        replica = self._replica()
+        for slot in range(3):
+            replica.restore_decided(slot, _put(slot))
+        replica.truncate_below(replica.applied_upto)
+        assert replica.restore_decided(3, _put(3))
+        assert replica.applied_upto == 4
+        assert [c.command_id for c in replica.store.log][-1] == "c3"
+
+    def test_restore_then_decide(self):
+        replica = self._replica()
+        vote = _put(0, cid="journaled")
+        assert replica.restore_slot_state(
+            0, bal=2, vbal=1, value=vote, initial_value=vote, sent_twoa=(0, 2)
+        )
+        inner = replica._slots[0]
+        assert (inner.bal, inner.vbal, inner.val) == (2, 1, vote)
+        assert inner._sent_twoa == {0, 2}
+        # A later WAL record decides the same slot: it applies normally.
+        assert replica.restore_decided(0, vote)
+        assert replica.applied_upto == 1
+        assert replica.store.log[-1].command_id == "journaled"
+        # And replaying the (older) slot-state record is now a no-op.
+        assert not replica.restore_slot_state(
+            0, bal=2, vbal=1, value=vote, initial_value=vote
+        )
+
+    def test_truncation_requeues_uncommitted_proposal(self):
+        replica = self._replica()
+        mine = _put(0, cid="mine")
+        replica.restore_slot_state(0, bal=0, vbal=-1, value=mine, initial_value=mine)
+        assert replica._inflight[0] == mine
+        # A state transfer jumps the frontier past our losing slot.
+        donor = self._replica(pid=1)
+        for slot in range(5):
+            donor.restore_decided(slot, _put(slot, cid=f"peer{slot}"))
+        replica.restore_store(donor.store.snapshot_state(), 5)
+        replica.truncate_below(replica.applied_upto)
+        # Our never-committed command went back to the proposal queue.
+        assert [c.command_id for c in replica._queue] == ["mine"]

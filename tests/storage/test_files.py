@@ -1,0 +1,22 @@
+"""Atomic temp-then-rename writes."""
+
+from repro.storage import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrites:
+    def test_creates_parents_and_writes(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "artifact.json"
+        atomic_write_text(target, "{}\n")
+        assert target.read_text() == "{}\n"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_litter_after_success(self, tmp_path):
+        atomic_write_bytes(tmp_path / "blob.bin", b"\x00\x01", durable=True)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["blob.bin"]
+        assert (tmp_path / "blob.bin").read_bytes() == b"\x00\x01"

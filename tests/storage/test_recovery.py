@@ -1,0 +1,287 @@
+"""Snapshot round-trip, persister recovery cycle, retention, transfer.
+
+These tests drive :class:`~repro.storage.recovery.ReplicaPersister`
+against real :class:`~repro.smr.log.SMRReplica` instances entirely
+offline (no event loop): journal → crash → recover must rebuild the
+identical store, and a snapshot must bound what the WAL replays.
+"""
+
+import pytest
+
+from repro.core.values import BOTTOM
+from repro.net.codec import MessageCodec
+from repro.obs import Observability
+from repro.smr.kvstore import KVCommand
+from repro.smr.log import SMRReplica
+from repro.storage import (
+    NodeStorage,
+    ReplicaPersister,
+    RetentionPolicy,
+    WalDecision,
+    WalSlotState,
+    decode_record,
+    deserialize_replica_state,
+    inspect_data_dir,
+    install_state,
+    list_segments,
+    list_snapshots,
+    scan_segment,
+    serialize_replica_state,
+)
+from repro.storage.snapshot import snapshot_name
+from repro.storage.wal import segment_name
+
+N, F, E = 5, 2, 2
+CODEC = MessageCodec()
+
+
+def _replica(pid=0):
+    return SMRReplica(pid, N, F, E)
+
+
+def _command(slot, prefix="c"):
+    return KVCommand(op="put", key=f"k{slot % 3}", value=slot, command_id=f"{prefix}{slot}")
+
+
+def _decide(replica, slots):
+    for slot in slots:
+        assert replica.restore_decided(slot, _command(slot))
+
+
+def _persister(tmp_path, replica, pid=0, **kwargs):
+    kwargs.setdefault("fsync", False)
+    kwargs.setdefault("snapshot_every", 10_000)
+    storage = NodeStorage(tmp_path, pid)
+    return ReplicaPersister(storage, replica, CODEC, **kwargs)
+
+
+class TestSnapshotRoundTrip:
+    def test_replica_state_round_trips(self):
+        a = _replica()
+        _decide(a, range(5))
+        state = deserialize_replica_state(CODEC, serialize_replica_state(CODEC, a))
+        assert state["applied_upto"] == 5
+        assert state["log_entries"] == 5
+        b = _replica(pid=1)
+        b.restore_store(state["store"], state["applied_upto"])
+        assert b.store.data == a.store.data
+        assert b.store.applied_ids == a.store.applied_ids
+        assert [c.command_id for c in b.store.log] == [
+            c.command_id for c in a.store.log
+        ]
+
+    def test_decided_tail_survives(self):
+        a = _replica()
+        _decide(a, range(3))
+        # Slot 4 decided but slot 3 missing: 4 stays in the unapplied tail.
+        assert a.restore_decided(4, _command(4))
+        assert a.applied_upto == 3
+        state = deserialize_replica_state(CODEC, serialize_replica_state(CODEC, a))
+        assert set(state["decided_tail"]) == {4}
+
+
+class TestPersisterCycle:
+    def test_journal_crash_recover_rebuilds_the_store(self, tmp_path):
+        a = _replica()
+        persister = _persister(tmp_path, a)
+        assert not persister.recover().recovered_anything
+        _decide(a, range(5))
+        persister.after_activation()
+        persister.close()
+
+        b = _replica()
+        recovered = _persister(tmp_path, b).recover()
+        assert recovered.snapshot is None
+        assert recovered.replayed_entries == 5
+        assert b.applied_upto == 5
+        assert b.store.data == a.store.data
+        assert [c.command_id for c in b.store.log] == [
+            c.command_id for c in a.store.log
+        ]
+
+    def test_recovery_rolls_replay_into_a_snapshot(self, tmp_path):
+        a = _replica()
+        persister = _persister(tmp_path, a)
+        persister.recover()
+        _decide(a, range(4))
+        persister.after_activation()
+        persister.close()
+
+        _persister(tmp_path, _replica()).recover()
+        # The replayed WAL is consumed into a snapshot, so a third
+        # incarnation restores from the snapshot and replays nothing.
+        c = _replica()
+        recovered = _persister(tmp_path, c).recover()
+        assert recovered.snapshot is not None
+        assert recovered.snapshot_entries == 4
+        assert recovered.replayed_entries == 0
+        assert c.applied_upto == 4
+        assert c.store.data == a.store.data
+
+    def test_decided_slot_journals_decision_not_slot_state(self, tmp_path):
+        a = _replica()
+        persister = _persister(tmp_path, a)
+        persister.recover()
+        a.dirty_slots.add(0)
+        _decide(a, [0])
+        persister.after_activation()
+        persister.close()
+        segment = list_segments(NodeStorage(tmp_path, 0).dir)[0]
+        records = [
+            decode_record(CODEC, payload)
+            for payload in scan_segment(segment).payloads
+        ]
+        assert [type(r) for r in records] == [WalDecision]
+        assert records[0].slot == 0
+
+    def test_undecided_slot_state_survives_restart(self, tmp_path):
+        a = _replica()
+        persister = _persister(tmp_path, a)
+        persister.recover()
+        vote = _command(7, prefix="vote")
+        assert a.restore_slot_state(
+            7, bal=3, vbal=2, value=vote, initial_value=vote, sent_twoa=(0, 3)
+        )
+        a.dirty_slots.add(7)
+        persister.after_activation()
+        persister.close()
+
+        b = _replica()
+        recovered = _persister(tmp_path, b).recover()
+        assert recovered.replayed_entries == 1
+        inner = b._slots[7]
+        assert inner.bal == 3
+        assert inner.vbal == 2
+        assert inner.val == vote
+        assert inner._sent_twoa == {0, 3}
+
+    def test_unchanged_slot_not_rejournaled(self, tmp_path):
+        a = _replica()
+        persister = _persister(tmp_path, a)
+        persister.recover()
+        vote = _command(9, prefix="vote")
+        a.restore_slot_state(9, bal=1, vbal=1, value=vote, initial_value=vote)
+        a.dirty_slots.add(9)
+        persister.after_activation()
+        # Same state marked dirty again: fingerprint matches, no new record.
+        a.dirty_slots.add(9)
+        persister.after_activation()
+        persister.close()
+        segment = list_segments(NodeStorage(tmp_path, 0).dir)[0]
+        assert len(scan_segment(segment).payloads) == 1
+
+    def test_snapshot_threshold_truncates_and_rotates(self, tmp_path):
+        a = _replica()
+        obs = Observability(node=0)
+        persister = _persister(tmp_path, a, snapshot_every=2, obs=obs)
+        persister.recover()
+        _decide(a, range(3))
+        persister.after_activation()
+        persister.close()
+        node_dir = NodeStorage(tmp_path, 0).dir
+        snapshots = list_snapshots(node_dir)
+        assert [info.upto for info in snapshots] == [3]
+        # Applied machinery below the frontier is gone; the in-memory
+        # applied log (the convergence witness) is not.
+        assert a.decided == {}
+        assert len(a.store.log) == 3
+        counters = obs.registry.snapshot()["counters"]
+        assert counters["storage.snapshots_written"] == 1
+        assert counters["storage.truncated_slots"] == 3
+
+    def test_hard_close_models_sigkill(self, tmp_path):
+        a = _replica()
+        persister = _persister(tmp_path, a)
+        persister.recover()
+        _decide(a, range(2))
+        persister.after_activation()
+        persister.close(hard=True)
+        b = _replica()
+        assert _persister(tmp_path, b).recover().replayed_entries == 2
+
+
+class TestRetention:
+    def test_keeps_newest_snapshots_and_their_segments(self, tmp_path):
+        for upto, seq in ((10, 2), (20, 3), (30, 5)):
+            (tmp_path / snapshot_name(upto, seq)).write_text("{}")
+        for seq in range(1, 6):
+            (tmp_path / segment_name(seq)).write_bytes(b"")
+        report = RetentionPolicy(keep_snapshots=2).apply(tmp_path)
+        assert [p.name for p in report.deleted_snapshots] == [snapshot_name(10, 2)]
+        assert [p.name for p in report.deleted_segments] == [
+            segment_name(1),
+            segment_name(2),
+        ]
+        # Kept: snapshots (20,3)/(30,5) and every segment they may need.
+        assert [info.upto for info in list_snapshots(tmp_path)] == [20, 30]
+        assert [p.name for p in list_segments(tmp_path)] == [
+            segment_name(3),
+            segment_name(4),
+            segment_name(5),
+        ]
+
+    def test_without_snapshots_nothing_is_deleted(self, tmp_path):
+        (tmp_path / segment_name(1)).write_bytes(b"")
+        report = RetentionPolicy().apply(tmp_path)
+        assert report.deleted == 0
+        assert list_segments(tmp_path)
+
+
+class TestStateTransfer:
+    def test_install_state_grafts_a_leading_peer(self):
+        ahead = _replica()
+        _decide(ahead, range(6))
+        behind = _replica(pid=1)
+        _decide(behind, range(2))
+        state = deserialize_replica_state(
+            CODEC, serialize_replica_state(CODEC, ahead)
+        )
+        installed = install_state(behind, state)
+        assert installed == 4
+        assert behind.applied_upto == 6
+        assert behind.store.data == ahead.store.data
+
+    def test_install_state_from_stale_peer_is_a_noop(self):
+        ahead = _replica()
+        _decide(ahead, range(6))
+        stale = deserialize_replica_state(
+            CODEC, serialize_replica_state(CODEC, _replica(pid=1))
+        )
+        assert install_state(ahead, stale) == 0
+        assert ahead.applied_upto == 6
+
+    def test_install_remote_persists_the_transfer(self, tmp_path):
+        behind = _replica()
+        persister = _persister(tmp_path, behind)
+        persister.recover()
+        ahead = _replica(pid=1)
+        _decide(ahead, range(5))
+        state = deserialize_replica_state(
+            CODEC, serialize_replica_state(CODEC, ahead)
+        )
+        assert persister.install_remote(state) == 5
+        persister.close()
+        # The transfer was rolled into a local snapshot immediately.
+        fresh = _replica()
+        recovered = _persister(tmp_path, fresh).recover()
+        assert recovered.snapshot is not None
+        assert fresh.applied_upto == 5
+
+
+class TestInspect:
+    def test_inspect_summarizes_node_directories(self, tmp_path):
+        a = _replica()
+        persister = _persister(tmp_path, a)
+        persister.recover()
+        _decide(a, range(3))
+        persister.after_activation()
+        persister.close()
+        persister.storage.update_meta(host="127.0.0.1", port=4242)
+        rows = inspect_data_dir(tmp_path, CODEC)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["node"] == "node-0"
+        assert row["wal_decisions"] == 3
+        assert row["max_slot_seen"] == 2
+        assert row["meta"]["port"] == 4242
+        assert row["segments"][0]["records"] == 3
