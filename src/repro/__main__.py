@@ -274,6 +274,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     from .net import run_cluster, start_node
     from .net.client import parse_address_list
+    from .net.codec import make_codec
     from .net.netlog import configure_logging
     from .net.node import KVService
 
@@ -282,6 +283,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     factory = _smr_net_factory(
         args.f, args.e, args.delta, batch=args.batch, window=args.window
     )
+    codec = make_codec(args.codec)
 
     if args.node is not None:
         # One real node of a multi-process deployment.
@@ -295,6 +297,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 args.node,
                 addresses,
                 factory,
+                codec=codec,
                 client_service=KVService(),
                 trace=args.trace,
                 data_dir=args.data_dir,
@@ -322,7 +325,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     # In-process LocalCluster deployment (all nodes, one event loop).
     def announce(cluster) -> None:
         peers = ",".join(f"{host}:{port}" for host, port in cluster.addresses)
-        print(f"cluster up: n={args.n} f={args.f} e={args.e}")
+        print(f"cluster up: n={args.n} f={args.f} e={args.e} codec={args.codec}")
         print(f"peers: {peers}")
         print(f"drive it with: python -m repro loadgen --peers {peers}")
         print(f"inspect it with: python -m repro stats --peers {peers}")
@@ -340,6 +343,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 data_dir=args.data_dir,
                 fsync=not args.no_fsync,
                 snapshot_every=args.snapshot_every,
+                codec=codec,
             )
         )
     except KeyboardInterrupt:
@@ -388,6 +392,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import time
 
     from .net.client import parse_address_list
+    from .net.codec import make_codec
     from .net.loadgen import run_loadgen
 
     addresses = parse_address_list(args.peers)
@@ -399,6 +404,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             put_fraction=args.put_fraction,
             seed=args.seed,
             timeout=args.timeout,
+            codec=make_codec(args.codec),
             pipeline=args.pipeline,
             pin_proxy=None if args.pin_proxy < 0 else args.pin_proxy,
             collect_stats=args.stats,
@@ -410,6 +416,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         "errors": report.errors[:10],
         "config": {
             "clients": args.clients,
+            "codec": args.codec,
             "count": args.count,
             "pipeline": args.pipeline,
             "pin_proxy": args.pin_proxy,
@@ -637,6 +644,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --data-dir: snapshot + rotate the WAL every this many "
         "applied slots (default 256)",
     )
+    cluster.add_argument(
+        "--codec",
+        default="json",
+        choices=["json", "binary"],
+        help="preferred wire format (default json; binary is the compact "
+        "v2 fast path, negotiated per connection so mixed clusters and "
+        "older peers interoperate)",
+    )
     cluster.set_defaults(fn=_cmd_cluster)
     stats = sub.add_parser(
         "stats", help="scrape a live cluster's metrics and merge them"
@@ -678,6 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="outstanding commands per connection (default 1 = closed loop)",
+    )
+    loadgen.add_argument(
+        "--codec",
+        default="json",
+        choices=["json", "binary"],
+        help="preferred wire format for client links (negotiated with each "
+        "proxy; a json-only proxy downgrades the link transparently)",
     )
     loadgen.add_argument(
         "--pin-proxy",

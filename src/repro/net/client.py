@@ -33,9 +33,16 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import ReproError
 from ..smr.kvstore import KVCommand
-from .codec import CodecError, MessageCodec, read_frame
-from .node import Address, enable_nodelay
-from .wire import ClientHello, ClientReply, ClientSubmit
+from .codec import (
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION_JSON,
+    CodecError,
+    FrameDecoder,
+    MessageCodec,
+    read_frame,
+)
+from .node import _READ_CHUNK, Address, enable_nodelay
+from .wire import ClientHello, ClientReply, ClientSubmit, HelloAck
 
 
 class ClientError(ReproError):
@@ -78,6 +85,7 @@ class KVClient:
         backoff_max: float = 1.0,
         proxy: int = 0,
         dead_cooldown: float = 10.0,
+        hello_timeout: float = 1.0,
     ) -> None:
         if not addresses:
             raise ClientError("client needs at least one proxy address")
@@ -90,9 +98,13 @@ class KVClient:
         self.backoff_max = backoff_max
         self.proxy = proxy % len(self.addresses)
         self.dead_cooldown = dead_cooldown
+        self.hello_timeout = hello_timeout
         self._seq = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        # Wire version negotiated with the current proxy; re-negotiated on
+        # every (re)connect, so failover to an older node degrades to JSON.
+        self._link_version = WIRE_VERSION_JSON
         # Proxy blacklist: proxies that recently failed us, with the time
         # of the failure. Avoided until the cooldown elapses so a crashed
         # node does not cost one timeout per designated command.
@@ -108,8 +120,33 @@ class KVClient:
         host, port = self.addresses[self.proxy]
         self._reader, self._writer = await asyncio.open_connection(host, port)
         enable_nodelay(self._writer)
-        self._writer.write(self.codec.encode(ClientHello(self.client_id)))
+        # The hello always travels as v1 so any server build can read it;
+        # announcing a higher max invites a HelloAck naming the agreed
+        # version. A server that never answers is a pre-negotiation build:
+        # fall back to JSON after the hello timeout.
+        self._writer.write(
+            self.codec.encode(
+                ClientHello(
+                    self.client_id,
+                    max_wire_version=self.codec.max_wire_version,
+                    registry_hash=self.codec.registry_hash,
+                ),
+                WIRE_VERSION_JSON,
+            )
+        )
         await self._writer.drain()
+        self._link_version = WIRE_VERSION_JSON
+        if self.codec.max_wire_version > WIRE_VERSION_JSON:
+            try:
+                ack = await asyncio.wait_for(
+                    read_frame(self._reader, self.codec), self.hello_timeout
+                )
+            except (asyncio.TimeoutError, CodecError):
+                return
+            if isinstance(ack, HelloAck) and ack.wire_version in SUPPORTED_WIRE_VERSIONS:
+                self._link_version = min(
+                    ack.wire_version, self.codec.max_wire_version
+                )
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -162,7 +199,9 @@ class KVClient:
                 self._seq += 1
                 assert self._writer is not None
                 self._writer.write(
-                    self.codec.encode(ClientSubmit(request_id, command))
+                    self.codec.encode(
+                        ClientSubmit(request_id, command), self._link_version
+                    )
                 )
                 await self._writer.drain()
                 return await asyncio.wait_for(
@@ -264,6 +303,10 @@ class KVClient:
         """One connection's worth of open-loop submission."""
         assert self._reader is not None and self._writer is not None
         reader, writer = self._reader, self._writer
+        link_version = self._link_version
+        # Bulk receive mirrors the server's serve loops: one read() per
+        # TCP burst of replies instead of two readexactly() per frame.
+        decoder = FrameDecoder(self.codec)
         to_send = deque(pending.values())
         sent_at: Dict[str, float] = {}
         outstanding = 0
@@ -276,27 +319,30 @@ class KVClient:
                     request_id = f"{self.client_id}:{self._seq}"
                     self._seq += 1
                     frames.append(
-                        self.codec.encode(ClientSubmit(request_id, command))
+                        self.codec.encode(
+                            ClientSubmit(request_id, command), link_version
+                        )
                     )
                     sent_at[command.command_id] = now
                     outstanding += 1
                 writer.write(b"".join(frames))
                 await writer.drain()
-            message = await asyncio.wait_for(
-                read_frame(reader, self.codec), self.timeout
-            )
-            if not isinstance(message, ClientReply):
-                continue
-            command = pending.pop(message.command_id, None)
-            if command is None:
-                continue  # reply to a superseded attempt; already completed
-            outstanding -= 1
-            replies[message.command_id] = message
-            if on_reply is not None:
-                elapsed = time.perf_counter() - sent_at.get(
-                    message.command_id, time.perf_counter()
-                )
-                on_reply(message, elapsed)
+            data = await asyncio.wait_for(reader.read(_READ_CHUNK), self.timeout)
+            if not data:
+                raise asyncio.IncompleteReadError(b"", None)
+            for message, _size in decoder.feed_sized(data):
+                if not isinstance(message, ClientReply):
+                    continue
+                command = pending.pop(message.command_id, None)
+                if command is None:
+                    continue  # reply to a superseded attempt; already completed
+                outstanding -= 1
+                replies[message.command_id] = message
+                if on_reply is not None:
+                    elapsed = time.perf_counter() - sent_at.get(
+                        message.command_id, time.perf_counter()
+                    )
+                    on_reply(message, elapsed)
 
     # ------------------------------------------------------------------
     # Convenience operations.

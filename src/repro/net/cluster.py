@@ -39,6 +39,11 @@ class LocalCluster:
         Builds one :class:`ClientService` per node; pass
         ``KVService`` (the default when ``serve_clients=True``) for the
         replicated KV store, or ``None`` for bare consensus clusters.
+    codecs:
+        Optional per-node codec overrides (pid -> codec) on top of the
+        shared ``codec`` — how mixed-codec clusters are built in tests:
+        give some nodes a binary-preferring codec (or a v1-only one) and
+        per-link negotiation sorts out every pairing.
     """
 
     def __init__(
@@ -48,6 +53,7 @@ class LocalCluster:
         serve_clients: bool = False,
         client_service_factory: Optional[Callable[[], ClientService]] = None,
         codec: Optional[MessageCodec] = None,
+        codecs: Optional[Dict[ProcessId, MessageCodec]] = None,
         host: str = "127.0.0.1",
         base_port: int = 0,
         trace: bool = False,
@@ -60,6 +66,7 @@ class LocalCluster:
             raise ConfigurationError(f"need at least one node, got n={n}")
         self.n = n
         self.codec = codec if codec is not None else MessageCodec()
+        self._codecs = dict(codecs) if codecs else {}
         if client_service_factory is None and serve_clients:
             client_service_factory = KVService
         # Everything restart(pid) needs to rebuild a node in place.
@@ -87,7 +94,7 @@ class LocalCluster:
             pid,
             self.n,
             self._factory,
-            codec=self.codec,
+            codec=self._codecs.get(pid, self.codec),
             host=self._host,
             port=port,
             client_service=(
@@ -248,6 +255,7 @@ async def run_cluster(
     data_dir: Optional[str] = None,
     fsync: bool = True,
     snapshot_every: int = 256,
+    codec: Optional[MessageCodec] = None,
 ) -> LocalCluster:
     """Boot a cluster, optionally run for *duration* seconds, and stop.
 
@@ -258,6 +266,7 @@ async def run_cluster(
         n,
         factory,
         serve_clients=serve_clients,
+        codec=codec,
         base_port=base_port,
         trace=trace,
         data_dir=data_dir,

@@ -37,7 +37,7 @@ from ..core.errors import ConfigurationError
 from ..smr.client import ClientOp, put_get_workload
 from ..verify.metrics import MetricsRecorder, VerificationMetrics
 from .client import ClientError, KVClient, PipelineError
-from .codec import MessageCodec
+from .codec import WIRE_VERSION_BINARY, MessageCodec
 from .node import Address
 from .stats import scrape_cluster
 
@@ -63,6 +63,7 @@ class LoadReport:
     results: Dict[str, Any] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
     pipeline: int = 1
+    wire_codec: str = "json"
     cluster_stats: Optional[Dict[str, Any]] = None
     cluster_traces: Optional[Dict[int, List[Any]]] = None
 
@@ -95,6 +96,7 @@ class LoadReport:
             "failed": self.failed,
             "duplicates": self.duplicates,
             "pipeline": self.pipeline,
+            "wire_codec": self.wire_codec,
             "wall_seconds": round(self.wall_seconds, 4),
             "throughput_per_sec": round(self.throughput, 1),
         }
@@ -262,6 +264,11 @@ async def run_loadgen(
         results={c[0]: c[1] for c in completions if not c[4]},
         errors=errors,
         pipeline=pipeline,
+        wire_codec=(
+            "binary"
+            if shared_codec.wire_version == WIRE_VERSION_BINARY
+            else "json"
+        ),
         cluster_stats=cluster_stats,
         cluster_traces=cluster_traces,
     )

@@ -56,12 +56,20 @@ from ..storage.recovery import (
     fetch_snapshot,
     snapshot_chunks,
 )
-from .codec import CodecError, MessageCodec, read_frame, read_frame_sized
+from .codec import (
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION_JSON,
+    CodecError,
+    FrameDecoder,
+    MessageCodec,
+    read_frame,
+)
 from .netlog import node_logger
 from .wire import (
     ClientHello,
     ClientReply,
     ClientSubmit,
+    HelloAck,
     NodeHello,
     SnapshotChunk,
     SnapshotRequest,
@@ -207,6 +215,12 @@ class KVService(ClientService):
             del self._pending[request_id]
 
 
+#: Bulk-receive size for the serve loops: one ``read()`` per TCP burst,
+#: decoded through :class:`FrameDecoder`, instead of two ``readexactly``
+#: awaits per frame.
+_READ_CHUNK = 256 * 1024
+
+
 class NodeServer:
     """One live node: a process, its peer links, and its client port.
 
@@ -227,6 +241,7 @@ class NodeServer:
         client_service: Optional[ClientService] = None,
         reconnect_initial: float = 0.05,
         reconnect_max: float = 1.0,
+        hello_timeout: float = 1.0,
         obs: Optional[Observability] = None,
         trace: bool = False,
         data_dir: Optional[str] = None,
@@ -251,6 +266,7 @@ class NodeServer:
         self.client_service = client_service
         self.reconnect_initial = reconnect_initial
         self.reconnect_max = reconnect_max
+        self.hello_timeout = hello_timeout
         # Metrics are on by default; the flight-recorder trace is opt-in
         # (``trace=True``) or bring-your-own via ``obs``.
         self.obs = (
@@ -286,9 +302,12 @@ class NodeServer:
         self._t0 = 0.0
         self._timer_generation: Dict[str, int] = {}
         self._timer_handles: Dict[str, asyncio.TimerHandle] = {}
-        # Outboxes hold encoded frames: a broadcast encodes once and the
-        # same bytes object is queued for every peer.
-        self._outbox: Dict[ProcessId, Deque[bytes]] = {}
+        # Outboxes hold (frame, message) pairs: a broadcast encodes once at
+        # this node's preferred wire version and the same bytes object is
+        # queued for every peer; a sender whose link negotiated a
+        # *different* version re-encodes from the message (the codec's LRU
+        # makes the hot shells cheap), so mixed-codec clusters interoperate.
+        self._outbox: Dict[ProcessId, Deque[Tuple[bytes, Message]]] = {}
         self._outbox_wake: Dict[ProcessId, asyncio.Event] = {}
         self._tasks: List[asyncio.Task] = []
         self._writers: Set[asyncio.StreamWriter] = set()
@@ -434,7 +453,7 @@ class NodeServer:
             return
         frame = self.codec.encode(message)
         self.obs.registry.inc(f"sent_bytes.{label}", len(frame))
-        self._enqueue(dst, frame)
+        self._enqueue(dst, frame, message)
 
     def _broadcast(self, message: Message, include_self: bool) -> None:
         """Encode once, enqueue the same frame for every peer."""
@@ -446,13 +465,13 @@ class NodeServer:
         for dst in range(self.n):
             if dst == self.pid:
                 continue
-            self._enqueue(dst, frame)
+            self._enqueue(dst, frame, message)
         if include_self:
             asyncio.get_event_loop().call_soon(self._deliver_self, message)
 
-    def _enqueue(self, dst: ProcessId, frame: bytes) -> None:
+    def _enqueue(self, dst: ProcessId, frame: bytes, message: Message) -> None:
         queue = self._outbox[dst]
-        queue.append(frame)
+        queue.append((frame, message))
         if self.outbox_limit is not None and len(queue) > self.outbox_limit:
             # Bounded retransmit buffer: against a long-dead peer the
             # oldest frames are shed, degrading that link from reliable
@@ -546,9 +565,31 @@ class NodeServer:
                 continue
             try:
                 enable_nodelay(writer)
-                writer.write(self.codec.encode(NodeHello(self.pid)))
-                await writer.drain()
+                link_version = await self._shake_hands(
+                    reader,
+                    writer,
+                    NodeHello(
+                        self.pid,
+                        max_wire_version=self.codec.max_wire_version,
+                        registry_hash=self.codec.registry_hash,
+                    ),
+                )
+                if self._crashed:
+                    # stop() may have cancelled us mid-handshake; on 3.11
+                    # wait_for swallows that cancellation when the ack
+                    # lands in the same tick, so re-check and bail rather
+                    # than re-entering the send loop with the cancel lost.
+                    return
+                if link_version != self.codec.wire_version:
+                    self.log.info(
+                        "link to peer %d speaks wire v%d (we prefer v%d)",
+                        peer,
+                        link_version,
+                        self.codec.wire_version,
+                    )
                 backoff = self.reconnect_initial
+                reencode = link_version != self.codec.wire_version
+                encode = self.codec.encode
                 while True:
                     while not queue:
                         wake.clear()
@@ -557,8 +598,21 @@ class NodeServer:
                     # only after it succeeds, so everything written when a
                     # connection dies is re-sent on reconnect. Frames
                     # queued during the await are left for the next burst.
+                    # Outbox frames are pre-encoded at our preferred
+                    # version; a link that negotiated the other format
+                    # re-encodes from the message object instead.
                     burst = len(queue)
-                    writer.write(b"".join(islice(queue, burst)))
+                    if reencode:
+                        writer.write(
+                            b"".join(
+                                encode(message, link_version)
+                                for _frame, message in islice(queue, burst)
+                            )
+                        )
+                    else:
+                        writer.write(
+                            b"".join(frame for frame, _message in islice(queue, burst))
+                        )
                     await writer.drain()
                     for _ in range(burst):
                         queue.popleft()
@@ -578,6 +632,54 @@ class NodeServer:
                         "closing link to peer %d raised %r", peer, exc
                     )
 
+    async def _shake_hands(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: Message,
+    ) -> int:
+        """Send *hello* and negotiate the link's wire version (dialer side).
+
+        The hello is always written as v1 so any receiver can read it.
+        When this codec can speak beyond v1, wait for the receiver's
+        :class:`HelloAck`; a silent receiver (a pre-negotiation build) or
+        an undecodable answer means fall back to JSON, never stall.
+        """
+        writer.write(self.codec.encode(hello, WIRE_VERSION_JSON))
+        await writer.drain()
+        if self.codec.max_wire_version <= WIRE_VERSION_JSON:
+            return WIRE_VERSION_JSON
+        try:
+            ack = await asyncio.wait_for(
+                read_frame(reader, self.codec), self.hello_timeout
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError, CodecError):
+            return WIRE_VERSION_JSON
+        if isinstance(ack, HelloAck) and ack.wire_version in SUPPORTED_WIRE_VERSIONS:
+            return min(ack.wire_version, self.codec.max_wire_version)
+        return WIRE_VERSION_JSON
+
+    async def _ack_hello(
+        self, hello: Message, writer: asyncio.StreamWriter
+    ) -> int:
+        """Answer an inbound hello; returns the link's agreed version.
+
+        A hello announcing only v1 is a legacy dialer that will not read
+        an ack — stay silent and speak JSON. Anything newer gets a
+        :class:`HelloAck` (written as v1) naming the agreed version.
+        """
+        peer_max = getattr(hello, "max_wire_version", WIRE_VERSION_JSON)
+        peer_hash = getattr(hello, "registry_hash", "")
+        version = self.codec.negotiate(peer_max, peer_hash)
+        if peer_max > WIRE_VERSION_JSON:
+            writer.write(
+                self.codec.encode(
+                    HelloAck(version, self.codec.registry_hash), WIRE_VERSION_JSON
+                )
+            )
+            await writer.drain()
+        return version
+
     # ------------------------------------------------------------------
     # Inbound connections: peers deliver, clients converse.
     # ------------------------------------------------------------------
@@ -593,9 +695,11 @@ class NodeServer:
             except (asyncio.IncompleteReadError, ConnectionError, CodecError):
                 return
             if isinstance(hello, NodeHello):
+                await self._ack_hello(hello, writer)
                 await self._serve_peer(reader, hello.pid)
             elif isinstance(hello, ClientHello):
-                await self._serve_client(reader, writer)
+                wire_version = await self._ack_hello(hello, writer)
+                await self._serve_client(reader, writer, wire_version)
             # Anything else: close silently (port scanners, bad handshakes).
         finally:
             self._writers.discard(writer)
@@ -606,9 +710,18 @@ class NodeServer:
                 pass
 
     async def _serve_peer(self, reader: asyncio.StreamReader, sender: ProcessId) -> None:
+        # Bulk receive: one read() per TCP burst, however many frames it
+        # carries, instead of two readexactly() awaits per frame. Under a
+        # pipelined load a burst is dozens of frames, so this collapses
+        # the per-message event-loop round-trips that dominate the path.
+        decoder = FrameDecoder(self.codec)
+        inc = self.obs.registry.inc
         while not self._crashed:
             try:
-                message, size = await read_frame_sized(reader, self.codec)
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    raise asyncio.IncompleteReadError(b"", None)
+                batch = decoder.feed_sized(data)
             except (asyncio.IncompleteReadError, ConnectionError, CodecError) as exc:
                 self.log.debug(
                     "inbound link from peer %d closed (%s)",
@@ -616,52 +729,67 @@ class NodeServer:
                     type(exc).__name__,
                 )
                 return  # peer went away; its sender task reconnects
-            label = message_label(message)
-            self.obs.registry.inc(f"recv.{label}")
-            self.obs.registry.inc(f"recv_bytes.{label}", size)
-            self._deliver(sender, message)
+            for message, size in batch:
+                label = message_label(message)
+                inc(f"recv.{label}")
+                inc(f"recv_bytes.{label}", size)
+                self._deliver(sender, message)
 
     async def _serve_client(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        wire_version: int = WIRE_VERSION_JSON,
     ) -> None:
         # Served even with no client service attached: stats are a
         # property of the runtime, not of the KV layer, so a consensus-only
         # node still answers ``StatsRequest``.
         replies: "asyncio.Queue[Message]" = asyncio.Queue()
         loop = asyncio.get_event_loop()
-        flusher = loop.create_task(self._flush_replies(replies, writer))
+        flusher = loop.create_task(
+            self._flush_replies(replies, writer, wire_version)
+        )
         self._tasks.append(flusher)
+        decoder = FrameDecoder(self.codec)
         try:
             while not self._crashed:
                 try:
-                    request = await read_frame(reader, self.codec)
+                    data = await reader.read(_READ_CHUNK)
+                    if not data:
+                        return
+                    batch = decoder.feed_sized(data)
                 except (asyncio.IncompleteReadError, ConnectionError, CodecError):
                     return
-                if isinstance(request, StatsRequest):
-                    replies.put_nowait(self._stats_reply(request))
-                elif isinstance(request, SnapshotRequest):
-                    for chunk in self._snapshot_reply(request):
-                        replies.put_nowait(chunk)
-                elif (
-                    isinstance(request, ClientSubmit)
-                    and self.client_service is not None
-                ):
-                    self.client_service.submit(self, request, replies.put_nowait)
+                for request, _size in batch:
+                    if isinstance(request, StatsRequest):
+                        replies.put_nowait(self._stats_reply(request))
+                    elif isinstance(request, SnapshotRequest):
+                        for chunk in self._snapshot_reply(request):
+                            replies.put_nowait(chunk)
+                    elif (
+                        isinstance(request, ClientSubmit)
+                        and self.client_service is not None
+                    ):
+                        self.client_service.submit(self, request, replies.put_nowait)
         finally:
             flusher.cancel()
             if flusher in self._tasks:
                 self._tasks.remove(flusher)
 
     async def _flush_replies(
-        self, replies: "asyncio.Queue[Message]", writer: asyncio.StreamWriter
+        self,
+        replies: "asyncio.Queue[Message]",
+        writer: asyncio.StreamWriter,
+        wire_version: int = WIRE_VERSION_JSON,
     ) -> None:
+        encode = self.codec.encode
         while True:
             batch = [await replies.get()]
             # Coalesce every reply already queued into one write + drain;
             # pipelined clients complete many commands per activation.
             while not replies.empty():
                 batch.append(replies.get_nowait())
-            writer.write(b"".join(self.codec.encode(reply) for reply in batch))
+            writer.write(b"".join(encode(reply, wire_version) for reply in batch))
             await writer.drain()
 
     def _snapshot_reply(self, request: SnapshotRequest) -> List[SnapshotChunk]:

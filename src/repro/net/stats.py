@@ -18,7 +18,7 @@ import asyncio
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import merge_decision_records, merge_snapshots
-from .codec import CodecError, MessageCodec, read_frame
+from .codec import WIRE_VERSION_JSON, CodecError, MessageCodec, read_frame
 from .node import Address, enable_nodelay
 from .wire import ClientHello, StatsReply, StatsRequest
 
@@ -42,10 +42,13 @@ async def fetch_node_stats(
     )
     try:
         enable_nodelay(writer)
-        writer.write(codec.encode(ClientHello(client_id)))
+        # Control-plane conversation, not the hot path: stay on v1 end to
+        # end (hello announces nothing, so the server answers in JSON).
+        writer.write(codec.encode(ClientHello(client_id), WIRE_VERSION_JSON))
         writer.write(
             codec.encode(
-                StatsRequest(request_id=f"{client_id}:0", include_trace=include_trace)
+                StatsRequest(request_id=f"{client_id}:0", include_trace=include_trace),
+                WIRE_VERSION_JSON,
             )
         )
         await writer.drain()

@@ -13,10 +13,24 @@ frame:
 
 * ``NodeHello(pid)`` — a peer link. Node *i* dials node *j* once and uses
   that connection exclusively for ``i → j`` traffic; *j* learns the sender
-  pid from the hello and never writes back on it. One directed connection
-  per ordered pair keeps reconnect logic trivial (the sender owns it).
+  pid from the hello and (hello ack aside) never writes back on it. One
+  directed connection per ordered pair keeps reconnect logic trivial (the
+  sender owns it).
 * ``ClientHello(client_id)`` — a client link. Bidirectional:
   ``ClientSubmit`` frames flow in, ``ClientReply`` frames flow out.
+
+Codec negotiation
+-----------------
+
+Hello frames are always encoded as wire version 1 (JSON) so any peer can
+read them. A dialer that can speak the binary format announces it via
+``max_wire_version``/``registry_hash``; a receiver that understands the
+announcement answers with :class:`HelloAck` naming the agreed version
+(``min`` of both ends' maxima, downgraded to 1 on a registry-hash
+mismatch), and the dialer speaks that version for the rest of the
+connection. A dialer announcing ``max_wire_version <= 1`` is a legacy
+peer: no ack is sent and the link stays on JSON — which is also the
+fallback when an announced dialer hears no ack within the hello timeout.
 """
 
 from __future__ import annotations
@@ -30,16 +44,43 @@ from ..smr.kvstore import KVCommand
 
 @dataclass(frozen=True)
 class NodeHello(Message):
-    """First frame on a peer link: identifies the dialing node."""
+    """First frame on a peer link: identifies the dialing node.
+
+    ``max_wire_version`` announces the highest frame format the dialer
+    can speak (1 = the JSON default, so a hello without the field decodes
+    as a legacy peer); ``registry_hash`` fingerprints its wire-name table
+    so binary type ids are only trusted between identical registries.
+    """
 
     pid: int
+    max_wire_version: int = 1
+    registry_hash: str = ""
 
 
 @dataclass(frozen=True)
 class ClientHello(Message):
-    """First frame on a client link: identifies the client session."""
+    """First frame on a client link: identifies the client session.
+
+    Carries the same negotiation fields as :class:`NodeHello`.
+    """
 
     client_id: str
+    max_wire_version: int = 1
+    registry_hash: str = ""
+
+
+@dataclass(frozen=True)
+class HelloAck(Message):
+    """The receiver's answer to a hello that announced ``>= 2``.
+
+    Always encoded as wire version 1. ``wire_version`` is the format both
+    sides speak from here on; ``registry_hash`` is the receiver's table
+    fingerprint (diagnostic — a mismatch already forces ``wire_version``
+    to 1).
+    """
+
+    wire_version: int
+    registry_hash: str = ""
 
 
 @dataclass(frozen=True)

@@ -4,10 +4,13 @@ The WAL itself (:mod:`repro.storage.wal`) frames opaque byte payloads;
 this module gives those payloads meaning. Records are frozen dataclasses
 deriving from :class:`~repro.core.messages.Message` so the one wire
 codec/registry covers them — a WAL payload is exactly a frame payload
-(version byte + tagged JSON body), which buys version checking, `BOTTOM`
-/ tuple / nested-dataclass fidelity, and forward-compatible decoding for
-free. ``repro.net.codec.default_registry`` imports this module, so any
-codec built there can decode any WAL on disk.
+(version byte + body, JSON or binary per the writing codec's
+preference), which buys version checking, `BOTTOM` / tuple /
+nested-dataclass fidelity, and forward-compatible decoding for free:
+the decoder dispatches on each record's own version byte, so a node can
+recover a WAL written under either format regardless of its current
+``--codec`` flag. ``repro.net.codec.default_registry`` imports this
+module, so any codec built there can decode any WAL on disk.
 
 Only state that **safety** depends on is journaled:
 
@@ -24,7 +27,6 @@ Only state that **safety** depends on is journaled:
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Any, Tuple
 
@@ -53,12 +55,7 @@ class WalSlotState(Message):
 
 def encode_record(codec: Any, record: Message) -> bytes:
     """Serialize *record* into a WAL payload (codec frame payload shape)."""
-    from ..net.codec import WIRE_VERSION  # local import: avoids a cycle at module load
-
-    body = json.dumps(
-        codec.to_jsonable(record), separators=(",", ":"), sort_keys=True
-    ).encode("utf-8")
-    return bytes([WIRE_VERSION]) + body
+    return codec.encode_payload(record)
 
 
 def decode_record(codec: Any, payload: bytes) -> Message:

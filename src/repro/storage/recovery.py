@@ -355,14 +355,21 @@ async def fetch_snapshot(
     ``CodecError`` on transport problems — callers iterate peers and
     tolerate individual failures.
     """
-    from ..net.codec import read_frame
+    from ..net.codec import WIRE_VERSION_JSON, read_frame
     from ..net.wire import ClientHello, SnapshotChunk, SnapshotRequest
 
     request_id = f"{client_id}:{uuid.uuid4().hex[:8]}"
     reader, writer = await asyncio.wait_for(asyncio.open_connection(*address), timeout)
     try:
-        writer.write(codec.encode(ClientHello(client_id)))
-        writer.write(codec.encode(SnapshotRequest(request_id=request_id, from_slot=from_slot)))
+        # Control-plane conversation: stay on v1 end to end (the hello
+        # announces nothing, so the server answers in JSON too).
+        writer.write(codec.encode(ClientHello(client_id), WIRE_VERSION_JSON))
+        writer.write(
+            codec.encode(
+                SnapshotRequest(request_id=request_id, from_slot=from_slot),
+                WIRE_VERSION_JSON,
+            )
+        )
         await writer.drain()
         parts: List[str] = []
         while True:

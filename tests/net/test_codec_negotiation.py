@@ -1,0 +1,204 @@
+"""Per-connection codec negotiation on the live runtime.
+
+The contract under test: ``--codec`` is a *preference*, not a protocol
+fork. Every pairing of {json-preferring, binary-preferring, v1-only}
+nodes and clients must converge on the same replicated log, because each
+link independently negotiates the best format both ends speak and falls
+back to JSON whenever in doubt (old peer, registry skew, no ack).
+"""
+
+import asyncio
+
+from repro.net.client import KVClient
+from repro.net.cluster import LocalCluster
+from repro.net.codec import (
+    WIRE_VERSION_BINARY,
+    WIRE_VERSION_JSON,
+    MessageCodec,
+    make_codec,
+)
+from repro.net.loadgen import run_loadgen
+from repro.omega import static_omega_factory
+from repro.protocols.twostep import TwoStepConfig
+from repro.smr import check_logs_consistent
+from repro.smr.log import smr_factory
+
+HARD_TIMEOUT = 60.0
+
+
+def _factory(delta: float = 0.05):
+    return smr_factory(
+        1,
+        1,
+        delta=delta,
+        omega_factory=static_omega_factory(0),
+        consensus_config=TwoStepConfig(f=1, e=1, delta=delta, is_object=True),
+        batch_size=16,
+        window=1,
+    )
+
+
+def _run(coroutine):
+    asyncio.run(asyncio.wait_for(coroutine, HARD_TIMEOUT))
+
+
+async def _drive(cluster: LocalCluster, count: int = 40) -> None:
+    async with cluster:
+        report = await run_loadgen(
+            cluster.addresses,
+            clients=2,
+            count=count,
+            pipeline=8,
+            codec=cluster.codec,
+        )
+        assert report.failed == 0, report.errors
+        await cluster.wait_logs_converged(timeout=20.0, expected_commands=count)
+        assert check_logs_consistent(cluster.survivor_replicas()) == []
+
+
+def test_all_binary_cluster_converges():
+    _run(_drive(LocalCluster(3, _factory(), serve_clients=True, codec=make_codec("binary"))))
+
+
+def test_mixed_codec_cluster_converges():
+    # Node 0 prefers binary, node 1 JSON, node 2 is a true v1-only build
+    # (cannot even decode v2): every pairing must negotiate something
+    # both ends speak, including the v1-only node acking JSON.
+    codecs = {
+        0: make_codec("binary"),
+        1: make_codec("json"),
+        2: MessageCodec(max_wire_version=WIRE_VERSION_JSON),
+    }
+    _run(
+        _drive(
+            LocalCluster(
+                3,
+                _factory(),
+                serve_clients=True,
+                codec=make_codec("binary"),
+                codecs=codecs,
+            )
+        )
+    )
+
+
+def test_binary_peers_actually_negotiate_v2():
+    async def live():
+        cluster = LocalCluster(
+            3, _factory(), serve_clients=False, codec=make_codec("binary")
+        )
+        async with cluster:
+            node = cluster.nodes[0]
+            # Drive the real handshake helper against the live peer.
+            reader, writer = await asyncio.open_connection(
+                *cluster.addresses[1]
+            )
+            try:
+                from repro.net.wire import NodeHello
+
+                version = await node._shake_hands(
+                    reader,
+                    writer,
+                    NodeHello(
+                        0,
+                        max_wire_version=node.codec.max_wire_version,
+                        registry_hash=node.codec.registry_hash,
+                    ),
+                )
+                assert version == WIRE_VERSION_BINARY
+            finally:
+                writer.close()
+
+    _run(live())
+
+
+def test_registry_skew_downgrades_to_json():
+    async def live():
+        cluster = LocalCluster(
+            3, _factory(), serve_clients=False, codec=make_codec("binary")
+        )
+        async with cluster:
+            node = cluster.nodes[0]
+            reader, writer = await asyncio.open_connection(*cluster.addresses[1])
+            try:
+                from repro.net.wire import NodeHello
+
+                version = await node._shake_hands(
+                    reader,
+                    writer,
+                    NodeHello(0, max_wire_version=2, registry_hash="00ff00ff00ff00ff"),
+                )
+                assert version == WIRE_VERSION_JSON
+            finally:
+                writer.close()
+
+    _run(live())
+
+
+def test_silent_receiver_falls_back_to_json():
+    # A server that never answers the hello (pre-negotiation build)
+    # must downgrade the dialer to JSON after the hello timeout, not hang.
+    async def live():
+        async def mute(reader, writer):
+            await asyncio.sleep(10)
+
+        server = await asyncio.start_server(mute, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = KVClient(
+                [("127.0.0.1", port)],
+                client_id="probe",
+                codec=make_codec("binary"),
+                hello_timeout=0.2,
+            )
+            await client._ensure_connected()
+            assert client._link_version == WIRE_VERSION_JSON
+            await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    _run(live())
+
+
+def test_binary_client_negotiates_with_binary_cluster():
+    async def live():
+        cluster = LocalCluster(
+            3, _factory(), serve_clients=True, codec=make_codec("binary")
+        )
+        async with cluster:
+            client = KVClient(
+                cluster.addresses, client_id="c0", codec=make_codec("binary")
+            )
+            try:
+                reply = await client.put("k", "v")
+                assert client._link_version == WIRE_VERSION_BINARY
+                assert reply.result is None or reply.result == "v"
+                reply = await client.get("k")
+                assert reply.result == "v"
+            finally:
+                await client.close()
+
+    _run(live())
+
+
+def test_v1_only_client_talks_to_binary_cluster():
+    async def live():
+        cluster = LocalCluster(
+            3, _factory(), serve_clients=True, codec=make_codec("binary")
+        )
+        async with cluster:
+            client = KVClient(
+                cluster.addresses,
+                client_id="legacy",
+                codec=MessageCodec(max_wire_version=WIRE_VERSION_JSON),
+            )
+            try:
+                await client.put("old", "school")
+                assert client._link_version == WIRE_VERSION_JSON
+                reply = await client.get("old")
+                assert reply.result == "school"
+            finally:
+                await client.close()
+
+    _run(live())

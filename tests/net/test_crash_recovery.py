@@ -18,6 +18,7 @@ from collections import deque
 from repro.net.cluster import LocalCluster
 from repro.net.loadgen import run_loadgen
 from repro.net.node import NodeServer
+from repro.net.wire import NodeHello
 from repro.net.stats import describe_cluster_stats, scrape_cluster
 from repro.omega import static_omega_factory
 from repro.protocols.twostep import TwoStepConfig
@@ -164,8 +165,12 @@ def test_outbox_limit_sheds_oldest_frames():
     node = NodeServer(0, 3, _factory(), outbox_limit=2)
     node._outbox[1] = deque()
     node._outbox_wake[1] = asyncio.Event()
+    messages = [NodeHello(pid=index) for index in range(5)]
     for index in range(5):
-        node._enqueue(1, bytes([index]))
-    assert list(node._outbox[1]) == [b"\x03", b"\x04"]
+        node._enqueue(1, bytes([index]), messages[index])
+    assert list(node._outbox[1]) == [
+        (b"\x03", messages[3]),
+        (b"\x04", messages[4]),
+    ]
     counters = node.obs.registry.snapshot()["counters"]
     assert counters["net.outbox_dropped.p1"] == 3

@@ -21,6 +21,7 @@ import asyncio
 import tempfile
 
 from repro.net.cluster import LocalCluster
+from repro.net.codec import make_codec
 from repro.net.loadgen import run_loadgen
 from repro.obs import Observability
 from repro.omega import static_omega_factory
@@ -34,6 +35,11 @@ COMMANDS = 1500
 #: slower, but an accidentally-serialized path lands near the ~350/s
 #: closed-loop figure and fails this clearly.
 THROUGHPUT_FLOOR = 250.0
+#: The binary codec's floor is 1.5× the JSON floor — the same ratio the
+#: codec is required to deliver over the PR-3 baseline in
+#: ``benchmarks/results/baseline_net.json``, scaled down to smoke levels
+#: so shared runners don't flake.
+BINARY_THROUGHPUT_FLOOR = 1.5 * THROUGHPUT_FLOOR
 #: Loose CI guard for the metrics-on/metrics-off ratio; the real ≤5%
 #: budget is tracked by the benchmark, not this smoke test.
 OVERHEAD_GUARD = 0.70
@@ -59,11 +65,19 @@ FSYNC_GUARD = 0.25
 
 
 async def _pipelined_run(
-    metrics: bool = True, data_dir: str | None = None, fsync: bool = True
+    metrics: bool = True,
+    data_dir: str | None = None,
+    fsync: bool = True,
+    codec_name: str = "json",
 ) -> float:
     """One 1500-command pipelined run; returns throughput (commands/s)."""
     cluster = LocalCluster(
-        3, _batched_factory(), serve_clients=True, data_dir=data_dir, fsync=fsync
+        3,
+        _batched_factory(),
+        serve_clients=True,
+        data_dir=data_dir,
+        fsync=fsync,
+        codec=make_codec(codec_name),
     )
     if not metrics:
         # LocalCluster has no obs knob by design (metrics are the
@@ -91,6 +105,24 @@ def test_pipelined_throughput_clears_the_floor():
         assert throughput >= THROUGHPUT_FLOOR, (
             f"pipelined throughput {throughput:,.0f}/s below the "
             f"{THROUGHPUT_FLOOR:,.0f}/s smoke floor"
+        )
+
+    asyncio.run(asyncio.wait_for(live(), HARD_TIMEOUT))
+
+
+def test_binary_codec_clears_a_higher_floor():
+    """``--codec binary`` must clear 1.5× the JSON smoke floor.
+
+    This is the CI-level gate for the codec acceptance criterion; the
+    measured speedup itself is recorded by ``benchmarks/bench_net.py``
+    under the ``codec`` dimension of ``baseline_net.json``.
+    """
+
+    async def live():
+        throughput = await _pipelined_run(codec_name="binary")
+        assert throughput >= BINARY_THROUGHPUT_FLOOR, (
+            f"binary-codec pipelined throughput {throughput:,.0f}/s below "
+            f"the {BINARY_THROUGHPUT_FLOOR:,.0f}/s smoke floor"
         )
 
     asyncio.run(asyncio.wait_for(live(), HARD_TIMEOUT))
