@@ -13,6 +13,7 @@ Usage::
     python -m repro cluster --n 3        # boot a live KV cluster (asyncio TCP)
     python -m repro loadgen --peers ...  # drive a live cluster, report latency
     python -m repro stats --peers ...    # scrape + merge a cluster's metrics
+    python -m repro top --peers ...      # live refreshing per-node dashboard
     python -m repro recover --data-dir D # inspect WAL/snapshot state on disk
     python -m repro all                  # everything (a few minutes)
 """
@@ -303,6 +304,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 data_dir=args.data_dir,
                 fsync=not args.no_fsync,
                 snapshot_every=args.snapshot_every,
+                trace_sample=args.trace_sample,
+                timeseries_path=(
+                    f"{args.timeseries}/node-{args.node}.jsonl"
+                    if args.timeseries
+                    else None
+                ),
             )
             await node.bind()
             print(f"node {args.node} serving on {node.host}:{node.port}")
@@ -344,6 +351,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 fsync=not args.no_fsync,
                 snapshot_every=args.snapshot_every,
                 codec=codec,
+                trace_sample=args.trace_sample,
+                timeseries_dir=args.timeseries,
             )
         )
     except KeyboardInterrupt:
@@ -373,6 +382,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 print(f"node {pid}: unreachable")
                 continue
             counters = snapshot.get("counters", {})
+            wire = snapshot.get("wire") or {}
+            wire_note = ""
+            if wire:
+                registry_hash = wire.get("registry_hash", "")
+                wire_note = (
+                    f" codec={wire.get('codec', '?')}"
+                    f" registry={registry_hash[:8] if registry_hash else '?'}"
+                )
             print(
                 f"node {pid}: fast={counters.get('consensus.decisions_fast', 0)} "
                 f"slow={counters.get('consensus.decisions_slow', 0)} "
@@ -381,6 +398,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"{counters.get('timer.set', 0)}/"
                 f"{counters.get('timer.fired', 0)}/"
                 f"{counters.get('timer.cancel', 0)}"
+                f"{wire_note}"
             )
     # A scrape that reached nobody is a failure; partial reach is not.
     return 0 if any(s is not None for s in view["nodes"].values()) else 1
@@ -409,6 +427,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             pin_proxy=None if args.pin_proxy < 0 else args.pin_proxy,
             collect_stats=args.stats,
             collect_trace=args.trace,
+            trace_sample=args.trace_sample,
         )
     )
     payload = {
@@ -422,6 +441,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "pin_proxy": args.pin_proxy,
             "put_fraction": args.put_fraction,
             "seed": args.seed,
+            "trace_sample": args.trace_sample,
         },
         "unix_time": round(time.time(), 3),
     }
@@ -446,7 +466,44 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             from .net.stats import describe_cluster_stats
 
             print(f"cluster: {describe_cluster_stats(report.cluster_stats)}")
+        if report.trace_paths is not None:
+            breakdown = report.trace_breakdown or {}
+            counts = breakdown.get("counts", {})
+            print(
+                f"traced: {len(report.trace_paths)} command(s) "
+                + " ".join(f"{path}={n}" for path, n in sorted(counts.items()))
+            )
+            for path, stages in sorted(breakdown.get("paths", {}).items()):
+                stage_bits = [
+                    f"{stage} p50={info['p50'] * 1000:.1f}ms "
+                    f"p99={info['p99'] * 1000:.1f}ms"
+                    for stage, info in stages.items()
+                ]
+                print(f"  {path}: " + "; ".join(stage_bits))
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net.client import parse_address_list
+    from .net.codec import make_codec
+    from .net.top import run_top
+
+    addresses = parse_address_list(args.peers)
+    try:
+        asyncio.run(
+            run_top(
+                addresses,
+                interval=args.interval,
+                iterations=args.iterations,
+                codec=make_codec(args.codec),
+                clear=not args.no_clear,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -619,6 +676,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the per-node flight-recorder event trace (opt-in)",
     )
     cluster.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="record causal per-command spans, self-sampling every Nth "
+        "sealed slot (0 = adopt client/peer traces only; default: spans "
+        "off entirely)",
+    )
+    cluster.add_argument(
+        "--timeseries",
+        default=None,
+        metavar="DIR",
+        help="append one JSONL metrics row per node per second to "
+        "DIR/node-<pid>.jsonl while the cluster runs",
+    )
+    cluster.add_argument(
         "--log-level",
         default=None,
         choices=["debug", "info", "warning", "error"],
@@ -722,6 +795,15 @@ def build_parser() -> argparse.ArgumentParser:
         "scrape; nodes must have been launched with tracing on)",
     )
     loadgen.add_argument(
+        "--trace-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stamp every Nth command with a trace id and report merged "
+        "per-command critical paths (nodes must run with --trace-sample "
+        "to record spans; 0 = off)",
+    )
+    loadgen.add_argument(
         "--json", action="store_true", help="emit machine-readable records"
     )
     loadgen.add_argument(
@@ -734,6 +816,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(default benchmarks/results/loadgen_last.json)",
     )
     loadgen.set_defaults(fn=_cmd_loadgen)
+    top = sub.add_parser(
+        "top", help="live refreshing per-node throughput/latency dashboard"
+    )
+    top.add_argument(
+        "--peers", required=True, help="host:port,... of the cluster's nodes"
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between scrapes"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render this many frames then exit (default: until Ctrl-C)",
+    )
+    top.add_argument(
+        "--codec",
+        default="json",
+        choices=["json", "binary"],
+        help="preferred wire format for the scrape connections",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (for logs/pipes)",
+    )
+    top.set_defaults(fn=_cmd_top)
     recover = sub.add_parser(
         "recover",
         help="inspect a cluster data directory: snapshots, WAL segments, torn tails",

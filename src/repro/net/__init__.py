@@ -42,6 +42,7 @@ from .node import (
     start_node,
 )
 from .stats import describe_cluster_stats, fetch_node_stats, scrape_cluster
+from .top import render_top, run_top
 from .wire import (
     ClientHello,
     ClientReply,
@@ -51,6 +52,7 @@ from .wire import (
     SnapshotRequest,
     StatsReply,
     StatsRequest,
+    Traced,
 )
 
 __all__ = [
@@ -75,6 +77,7 @@ __all__ = [
     "SnapshotRequest",
     "StatsReply",
     "StatsRequest",
+    "Traced",
     "WIRE_VERSION",
     "configure_logging",
     "default_registry",
@@ -83,8 +86,10 @@ __all__ = [
     "fetch_node_stats",
     "node_logger",
     "parse_address_list",
+    "render_top",
     "run_cluster",
     "run_loadgen",
+    "run_top",
     "scrape_cluster",
     "start_node",
 ]

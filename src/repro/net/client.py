@@ -105,6 +105,9 @@ class KVClient:
         # Wire version negotiated with the current proxy; re-negotiated on
         # every (re)connect, so failover to an older node degrades to JSON.
         self._link_version = WIRE_VERSION_JSON
+        # Whether the current proxy records spans (from its HelloAck);
+        # trace ids are only stamped onto submits when it does.
+        self.trace_supported = False
         # Proxy blacklist: proxies that recently failed us, with the time
         # of the failure. Avoided until the cooldown elapses so a crashed
         # node does not cost one timeout per designated command.
@@ -130,12 +133,14 @@ class KVClient:
                     self.client_id,
                     max_wire_version=self.codec.max_wire_version,
                     registry_hash=self.codec.registry_hash,
+                    trace_ok=True,
                 ),
                 WIRE_VERSION_JSON,
             )
         )
         await self._writer.drain()
         self._link_version = WIRE_VERSION_JSON
+        self.trace_supported = False
         if self.codec.max_wire_version > WIRE_VERSION_JSON:
             try:
                 ack = await asyncio.wait_for(
@@ -147,6 +152,7 @@ class KVClient:
                 self._link_version = min(
                     ack.wire_version, self.codec.max_wire_version
                 )
+                self.trace_supported = bool(ack.trace_ok)
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -177,7 +183,10 @@ class KVClient:
     # ------------------------------------------------------------------
 
     async def submit(
-        self, command: KVCommand, proxy: Optional[int] = None
+        self,
+        command: KVCommand,
+        proxy: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> ClientReply:
         """Submit *command* and wait for its reply; retries with failover.
 
@@ -185,6 +194,8 @@ class KVClient:
         generator uses this to replay a workload's proxy assignment);
         failures still rotate to the other proxies, and a preferred proxy
         that recently failed is skipped until its cooldown elapses.
+        ``trace_id`` asks the proxy to span-trace this command end to
+        end; it is only stamped when the proxy's handshake agreed.
         """
         if proxy is not None:
             preferred = proxy % len(self.addresses)
@@ -198,9 +209,11 @@ class KVClient:
                 request_id = f"{self.client_id}:{self._seq}"
                 self._seq += 1
                 assert self._writer is not None
+                stamped = trace_id if trace_id and self.trace_supported else ""
                 self._writer.write(
                     self.codec.encode(
-                        ClientSubmit(request_id, command), self._link_version
+                        ClientSubmit(request_id, command, trace_id=stamped),
+                        self._link_version,
                     )
                 )
                 await self._writer.drain()
@@ -243,6 +256,7 @@ class KVClient:
         window: int = 16,
         proxy: Optional[int] = None,
         on_reply: Optional[Callable[[ClientReply, float], None]] = None,
+        traces: Optional[Dict[str, str]] = None,
     ) -> Dict[str, ClientReply]:
         """Drive *commands* with up to *window* outstanding at once.
 
@@ -251,6 +265,8 @@ class KVClient:
         completing attempt (seconds). Failures rotate proxies and
         re-submit everything not yet completed; after ``max_attempts``
         rounds a :class:`ClientError` reports how much is left.
+        ``traces`` maps command ids to trace ids to stamp onto their
+        submits (ignored when the proxy's handshake declined spans).
         """
         if window < 1:
             raise ClientError(f"pipeline window must be >= 1, got {window}")
@@ -271,7 +287,9 @@ class KVClient:
                     self.proxy = preferred
             try:
                 await self._ensure_connected()
-                await self._pipeline_attempt(pending, replies, window, on_reply)
+                await self._pipeline_attempt(
+                    pending, replies, window, on_reply, traces
+                )
                 return replies
             except (
                 asyncio.TimeoutError,
@@ -299,11 +317,14 @@ class KVClient:
         replies: Dict[str, ClientReply],
         window: int,
         on_reply: Optional[Callable[[ClientReply, float], None]],
+        traces: Optional[Dict[str, str]] = None,
     ) -> None:
         """One connection's worth of open-loop submission."""
         assert self._reader is not None and self._writer is not None
         reader, writer = self._reader, self._writer
         link_version = self._link_version
+        if traces is None or not self.trace_supported:
+            traces = {}
         # Bulk receive mirrors the server's serve loops: one read() per
         # TCP burst of replies instead of two readexactly() per frame.
         decoder = FrameDecoder(self.codec)
@@ -320,7 +341,12 @@ class KVClient:
                     self._seq += 1
                     frames.append(
                         self.codec.encode(
-                            ClientSubmit(request_id, command), link_version
+                            ClientSubmit(
+                                request_id,
+                                command,
+                                trace_id=traces.get(command.command_id, ""),
+                            ),
+                            link_version,
                         )
                     )
                     sent_at[command.command_id] = now

@@ -61,6 +61,10 @@ class LocalCluster:
         fsync: bool = True,
         snapshot_every: int = 256,
         outbox_limit: Optional[int] = None,
+        trace_sample: Optional[int] = None,
+        trace_samples: Optional[Dict[ProcessId, Optional[int]]] = None,
+        timeseries_dir: Optional[str] = None,
+        timeseries_interval: float = 1.0,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one node, got n={n}")
@@ -78,6 +82,13 @@ class LocalCluster:
         self._fsync = fsync
         self._snapshot_every = snapshot_every
         self._outbox_limit = outbox_limit
+        self._trace_sample = trace_sample
+        # Per-node span overrides (pid -> sample or None), same idiom as
+        # ``codecs``: how mixed traced/untraced clusters are built in
+        # tests — per-link trace negotiation sorts out every pairing.
+        self._trace_samples = dict(trace_samples) if trace_samples else None
+        self._timeseries_dir = timeseries_dir
+        self._timeseries_interval = timeseries_interval
         self.nodes: List[NodeServer] = [
             self._build_node(pid, port=(base_port + pid) if base_port else 0)
             for pid in range(n)
@@ -107,6 +118,17 @@ class LocalCluster:
             fsync=self._fsync,
             snapshot_every=self._snapshot_every,
             outbox_limit=self._outbox_limit,
+            trace_sample=(
+                self._trace_samples.get(pid, self._trace_sample)
+                if self._trace_samples is not None
+                else self._trace_sample
+            ),
+            timeseries_path=(
+                f"{self._timeseries_dir}/node-{pid}.jsonl"
+                if self._timeseries_dir
+                else None
+            ),
+            timeseries_interval=self._timeseries_interval,
         )
 
     # ------------------------------------------------------------------
@@ -256,6 +278,8 @@ async def run_cluster(
     fsync: bool = True,
     snapshot_every: int = 256,
     codec: Optional[MessageCodec] = None,
+    trace_sample: Optional[int] = None,
+    timeseries_dir: Optional[str] = None,
 ) -> LocalCluster:
     """Boot a cluster, optionally run for *duration* seconds, and stop.
 
@@ -272,6 +296,8 @@ async def run_cluster(
         data_dir=data_dir,
         fsync=fsync,
         snapshot_every=snapshot_every,
+        trace_sample=trace_sample,
+        timeseries_dir=timeseries_dir,
     )
     await cluster.start()
     if on_ready is not None:

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.stats import Summary, summarize
 from ..core.errors import ConfigurationError
+from ..obs import critical_paths, merge_span_events, stage_breakdown
 from ..smr.client import ClientOp, put_get_workload
 from ..verify.metrics import MetricsRecorder, VerificationMetrics
 from .client import ClientError, KVClient, PipelineError
@@ -66,6 +67,8 @@ class LoadReport:
     wire_codec: str = "json"
     cluster_stats: Optional[Dict[str, Any]] = None
     cluster_traces: Optional[Dict[int, List[Any]]] = None
+    trace_paths: Optional[List[Dict[str, Any]]] = None
+    trace_breakdown: Optional[Dict[str, Any]] = None
 
     @property
     def throughput(self) -> float:
@@ -123,6 +126,9 @@ class LoadReport:
             )
             record["gap_repair_noops"] = counters.get("smr.gap_repair_noops", 0)
             record["cluster_stats"] = self.cluster_stats
+        if self.trace_paths is not None:
+            record["traced_commands"] = len(self.trace_paths)
+            record["trace_breakdown"] = self.trace_breakdown
         return record
 
 
@@ -142,6 +148,7 @@ async def run_loadgen(
     pin_proxy: Optional[int] = 0,
     collect_stats: bool = False,
     collect_trace: bool = False,
+    trace_sample: int = 0,
 ) -> LoadReport:
     """Drive *count* commands through the cluster at *addresses*.
 
@@ -159,11 +166,20 @@ async def run_loadgen(
     latency table in ``--record`` artifacts; ``collect_trace``
     additionally pulls each node's retained flight-recorder events
     (only meaningful when the nodes were launched with tracing on).
+
+    ``trace_sample=N`` stamps every Nth command with a client-minted
+    trace id (``c.<prefix>.<i>``). On clusters whose nodes record spans
+    the stamped commands come back as merged per-command critical paths
+    (``trace_paths``) and a per-stage latency breakdown split by
+    decision path (``trace_breakdown``); against span-less nodes the
+    handshake strips the ids and the knob is a no-op.
     """
     if clients < 1:
         raise ConfigurationError(f"need at least one client, got {clients}")
     if pipeline < 1:
         raise ConfigurationError(f"pipeline depth must be >= 1, got {pipeline}")
+    if trace_sample < 0:
+        raise ConfigurationError(f"trace_sample must be >= 0, got {trace_sample}")
     shared_codec = codec if codec is not None else MessageCodec()
     if ops is None:
         ops = put_get_workload(
@@ -174,6 +190,13 @@ async def run_loadgen(
             seed=seed,
         )
     shares: List[List[ClientOp]] = [list(ops[i::clients]) for i in range(clients)]
+    trace_ids: Dict[str, str] = {}
+    if trace_sample:
+        trace_ids = {
+            op.command.command_id: f"c.{client_id_prefix}.{index}"
+            for index, op in enumerate(ops)
+            if index % trace_sample == 0
+        }
     recorder = MetricsRecorder("loadgen")
     completions: List[Tuple[str, Any, float, float, bool]] = []
     errors: List[str] = []
@@ -196,7 +219,11 @@ async def run_loadgen(
             for op in share:
                 begin = time.perf_counter()
                 try:
-                    reply = await client.submit(op.command, proxy=op.proxy)
+                    reply = await client.submit(
+                        op.command,
+                        proxy=op.proxy,
+                        trace_id=trace_ids.get(op.command.command_id),
+                    )
                 except ClientError as exc:
                     errors.append(str(exc))
                     continue
@@ -221,6 +248,7 @@ async def run_loadgen(
                 on_reply=lambda reply, elapsed: record(
                     reply.command_id, reply, elapsed
                 ),
+                traces=trace_ids if trace_ids else None,
             )
         except PipelineError as exc:
             # Mirror the closed-loop path: one error entry per unfinished
@@ -241,14 +269,28 @@ async def run_loadgen(
 
     cluster_stats: Optional[Dict[str, Any]] = None
     cluster_traces: Optional[Dict[int, List[Any]]] = None
-    if collect_stats or collect_trace:
+    trace_paths: Optional[List[Dict[str, Any]]] = None
+    trace_stage_breakdown: Optional[Dict[str, Any]] = None
+    if collect_stats or collect_trace or trace_sample:
         cluster_stats = await scrape_cluster(
             addresses,
             codec=shared_codec,
             include_trace=collect_trace,
+            include_spans=bool(trace_sample),
             timeout=timeout,
         )
         cluster_traces = cluster_stats.pop("traces", None)
+        cluster_spans = cluster_stats.pop("spans", None)
+        if cluster_spans:
+            trace_paths = critical_paths(merge_span_events(cluster_spans))
+            trace_stage_breakdown = stage_breakdown(trace_paths)
+        elif trace_sample:
+            trace_paths = []
+            trace_stage_breakdown = stage_breakdown([])
+        if not collect_stats and not collect_trace:
+            # Spans were the only reason we scraped; don't surprise the
+            # caller with a full cluster snapshot they didn't ask for.
+            cluster_stats = None
 
     commit_samples = [c[2] for c in completions if not c[4]]
     client_samples = [c[3] for c in completions]
@@ -271,4 +313,6 @@ async def run_loadgen(
         ),
         cluster_stats=cluster_stats,
         cluster_traces=cluster_traces,
+        trace_paths=trace_paths,
+        trace_breakdown=trace_stage_breakdown,
     )

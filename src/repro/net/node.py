@@ -39,7 +39,10 @@ and answering once the replica applied the command.
 from __future__ import annotations
 
 import asyncio
+import json
+import pathlib
 import socket
+import time
 from collections import deque
 from itertools import islice
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
@@ -48,7 +51,14 @@ from ..core.errors import ConfigurationError, ProtocolError, SchedulerError
 from ..core.messages import Message
 from ..core.process import CLIENT, Context, Process, ProcessFactory, ProcessId
 from ..core.values import MaybeValue
-from ..obs import Observability, TraceRecorder, message_label
+from ..obs import (
+    Observability,
+    SpanRecorder,
+    TraceRecorder,
+    message_label,
+    prometheus_text,
+    timeseries_row,
+)
 from ..smr.log import SMRReplica, SubmitCommand
 from ..storage.recovery import (
     NodeStorage,
@@ -57,6 +67,7 @@ from ..storage.recovery import (
     snapshot_chunks,
 )
 from .codec import (
+    MAX_FRAME_BYTES,
     SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION_JSON,
     CodecError,
@@ -75,6 +86,7 @@ from .wire import (
     SnapshotRequest,
     StatsReply,
     StatsRequest,
+    Traced,
 )
 
 #: (host, port) pairs, indexed by pid.
@@ -170,7 +182,11 @@ class KVService(ClientService):
             )
         self._pending[request.request_id] = (request.command.command_id, reply)
         node._activate(
-            lambda ctx: replica.on_message(ctx, CLIENT, SubmitCommand(request.command))
+            lambda ctx: replica.on_message(
+                ctx,
+                CLIENT,
+                SubmitCommand(request.command, trace_id=request.trace_id),
+            )
         )
 
     def poll(self, node: "NodeServer") -> None:
@@ -180,16 +196,26 @@ class KVService(ClientService):
         finished: List[str] = []
         for request_id, (command_id, reply) in self._pending.items():
             if command_id in replica.results:
-                result, _applied_at = replica.results[command_id]
+                result, applied_at = replica.results[command_id]
                 commit = replica.commit_times.get(command_id, 0.0) - replica.submissions.get(
                     command_id, 0.0
                 )
+                trace_id = replica.command_traces.get(command_id, "")
+                if trace_id:
+                    now = node.now
+                    node.obs.spans.record(
+                        trace_id, "reply", now, command=command_id
+                    )
+                    node.obs.registry.observe(
+                        "stage.reply_seconds", max(0.0, now - applied_at)
+                    )
                 reply(
                     ClientReply(
                         request_id=request_id,
                         command_id=command_id,
                         result=result,
                         commit_seconds=max(commit, 0.0),
+                        trace_id=trace_id,
                     )
                 )
                 finished.append(request_id)
@@ -244,11 +270,15 @@ class NodeServer:
         hello_timeout: float = 1.0,
         obs: Optional[Observability] = None,
         trace: bool = False,
+        trace_sample: Optional[int] = None,
         data_dir: Optional[str] = None,
         fsync: bool = True,
         snapshot_every: int = 256,
         catch_up: bool = True,
         outbox_limit: Optional[int] = None,
+        timeseries_path: Optional[str] = None,
+        timeseries_interval: float = 1.0,
+        loop_lag_interval: float = 0.25,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one process, got n={n}")
@@ -257,6 +287,10 @@ class NodeServer:
         if outbox_limit is not None and outbox_limit < 1:
             raise ConfigurationError(
                 f"outbox_limit must be positive or None, got {outbox_limit}"
+            )
+        if trace_sample is not None and trace_sample < 0:
+            raise ConfigurationError(
+                f"trace_sample must be >= 0 or None, got {trace_sample}"
             )
         self.pid = pid
         self.n = n
@@ -267,15 +301,36 @@ class NodeServer:
         self.reconnect_initial = reconnect_initial
         self.reconnect_max = reconnect_max
         self.hello_timeout = hello_timeout
-        # Metrics are on by default; the flight-recorder trace is opt-in
-        # (``trace=True``) or bring-your-own via ``obs``.
+        # Metrics are on by default; the flight-recorder trace and span
+        # recorder are opt-in (``trace=True`` / ``trace_sample=N``) or
+        # bring-your-own via ``obs``. ``trace_sample=0`` records spans but
+        # mints no traces of its own — the follower configuration, which
+        # adopts traces arriving from clients and peers.
         self.obs = (
             obs
             if obs is not None
-            else Observability(trace=TraceRecorder() if trace else None, node=pid)
+            else Observability(
+                trace=TraceRecorder() if trace else None,
+                spans=(
+                    SpanRecorder(sample=trace_sample)
+                    if trace_sample is not None
+                    else None
+                ),
+                node=pid,
+            )
         )
+        self.timeseries_path = timeseries_path
+        self.timeseries_interval = timeseries_interval
+        self.loop_lag_interval = loop_lag_interval
         self.log = node_logger(pid)
         self.process: Process = factory(pid, n)
+        # Span plumbing, resolved once: the replica's slot->trace map (the
+        # send path checks it per frame) and whether this node records
+        # spans at all (the master off-switch for every tracing branch).
+        self._spans_enabled = self.obs.spans.enabled
+        self._slot_traces: Optional[Dict[int, str]] = getattr(
+            self.process, "slot_traces", None
+        )
 
         # Durability: present only when a data directory was given and the
         # hosted process is an SMR replica (the only stateful process).
@@ -311,6 +366,14 @@ class NodeServer:
         self._outbox_wake: Dict[ProcessId, asyncio.Event] = {}
         self._tasks: List[asyncio.Task] = []
         self._writers: Set[asyncio.StreamWriter] = set()
+        # Per-link negotiation outcomes, surfaced in stats snapshots:
+        # outbound peer links (we dialed), inbound peer links (they
+        # dialed), client links by agreed version, and which outbound
+        # links agreed to carry Traced envelopes.
+        self._link_versions: Dict[ProcessId, int] = {}
+        self._peer_links_in: Dict[ProcessId, int] = {}
+        self._client_link_versions: Dict[int, int] = {}
+        self._link_trace: Dict[ProcessId, bool] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -374,6 +437,10 @@ class NodeServer:
         self._activate(lambda ctx: self.process.on_start(ctx))
         if self.persister is not None and self._catch_up_enabled and self.n > 1:
             self._tasks.append(loop.create_task(self._catch_up_from_peers()))
+        if self.loop_lag_interval > 0:
+            self._tasks.append(loop.create_task(self._loop_lag_sampler()))
+        if self.timeseries_path is not None:
+            self._tasks.append(loop.create_task(self._timeseries_writer()))
 
     async def stop(self, hard: bool = False) -> None:
         """Crash-stop this node: no further activations, links die.
@@ -451,23 +518,53 @@ class NodeServer:
             # the simulator where a self-send goes through the event queue.
             asyncio.get_event_loop().call_soon(self._deliver_self, message)
             return
-        frame = self.codec.encode(message)
+        outbound = message
+        if self._spans_enabled and self._link_trace.get(dst):
+            outbound = self._maybe_wrap(message, "send", dst=dst)
+        frame = self.codec.encode(outbound)
         self.obs.registry.inc(f"sent_bytes.{label}", len(frame))
-        self._enqueue(dst, frame, message)
+        self._enqueue(dst, frame, outbound)
 
     def _broadcast(self, message: Message, include_self: bool) -> None:
-        """Encode once, enqueue the same frame for every peer."""
-        frame = self.codec.encode(message)
+        """Encode once, enqueue the same frame for every peer.
+
+        When spans are on and at least one outbound link agreed to carry
+        trace context, a traced slot's frame is wrapped (and encoded)
+        once; senders whose link did *not* agree strip the envelope
+        per-frame instead (see :meth:`_peer_sender`), so the homogeneous
+        case keeps the encode-once fast path. Self-delivery always gets
+        the bare message — no wire, no envelope.
+        """
         label = message_label(message)
+        outbound = message
+        if self._spans_enabled and any(self._link_trace.values()):
+            outbound = self._maybe_wrap(message, "bcast")
+        frame = self.codec.encode(outbound)
         peers = self.n - 1
         self.obs.registry.inc(f"sent.{label}", peers + (1 if include_self else 0))
         self.obs.registry.inc(f"sent_bytes.{label}", len(frame) * peers)
         for dst in range(self.n):
             if dst == self.pid:
                 continue
-            self._enqueue(dst, frame, message)
+            self._enqueue(dst, frame, outbound)
         if include_self:
             asyncio.get_event_loop().call_soon(self._deliver_self, message)
+
+    def _maybe_wrap(self, message: Message, stage: str, **fields: Any) -> Message:
+        """Wrap *message* in :class:`Traced` when its slot is sampled."""
+        slot_traces = self._slot_traces
+        if slot_traces is None:
+            return message
+        slot = getattr(message, "slot", None)
+        if slot is None:
+            return message
+        trace_id = slot_traces.get(slot)
+        if trace_id is None:
+            return message
+        seq = self.obs.spans.record(
+            trace_id, stage, self.now, type=message_label(message), **fields
+        )
+        return Traced(trace_id, self.pid, seq, message)
 
     def _enqueue(self, dst: ProcessId, frame: bytes, message: Message) -> None:
         queue = self._outbox[dst]
@@ -565,13 +662,14 @@ class NodeServer:
                 continue
             try:
                 enable_nodelay(writer)
-                link_version = await self._shake_hands(
+                link_version, link_trace = await self._shake_hands(
                     reader,
                     writer,
                     NodeHello(
                         self.pid,
                         max_wire_version=self.codec.max_wire_version,
                         registry_hash=self.codec.registry_hash,
+                        trace_ok=self._spans_enabled,
                     ),
                 )
                 if self._crashed:
@@ -588,7 +686,15 @@ class NodeServer:
                         self.codec.wire_version,
                     )
                 backoff = self.reconnect_initial
+                self._link_versions[peer] = link_version
+                self._link_trace[peer] = bool(link_trace) and self._spans_enabled
                 reencode = link_version != self.codec.wire_version
+                # A link whose peer declined trace context must not see
+                # Traced envelopes: strip (re-encode the inner message)
+                # per frame. Only possible when this node records spans
+                # at all, so the untraced fast path stays branch-free.
+                strip = self._spans_enabled and not self._link_trace[peer]
+                registry = self.obs.registry
                 encode = self.codec.encode
                 while True:
                     while not queue:
@@ -602,18 +708,27 @@ class NodeServer:
                     # version; a link that negotiated the other format
                     # re-encodes from the message object instead.
                     burst = len(queue)
-                    if reencode:
-                        writer.write(
-                            b"".join(
-                                encode(message, link_version)
-                                for _frame, message in islice(queue, burst)
-                            )
-                        )
+                    if reencode or strip:
+                        parts: List[bytes] = []
+                        for frame, message in islice(queue, burst):
+                            if strip and type(message) is Traced:
+                                parts.append(encode(message.inner, link_version))
+                            elif reencode:
+                                parts.append(encode(message, link_version))
+                            else:
+                                parts.append(frame)
+                        writer.write(b"".join(parts))
                     else:
                         writer.write(
                             b"".join(frame for frame, _message in islice(queue, burst))
                         )
+                    started = time.perf_counter()
                     await writer.drain()
+                    stall = time.perf_counter() - started
+                    # Coalescing stall profile: how long bursts sit in
+                    # drain() (kernel buffer full = a slow peer or link).
+                    registry.observe("net.drain_seconds", stall)
+                    registry.gauge_max("net.drain_stall_max_seconds", stall)
                     for _ in range(burst):
                         queue.popleft()
             except (ConnectionError, OSError) as exc:
@@ -637,27 +752,31 @@ class NodeServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         hello: Message,
-    ) -> int:
-        """Send *hello* and negotiate the link's wire version (dialer side).
+    ) -> Tuple[int, bool]:
+        """Send *hello* and negotiate the link (dialer side).
 
-        The hello is always written as v1 so any receiver can read it.
-        When this codec can speak beyond v1, wait for the receiver's
-        :class:`HelloAck`; a silent receiver (a pre-negotiation build) or
-        an undecodable answer means fall back to JSON, never stall.
+        Returns ``(wire_version, trace_ok)``. The hello is always written
+        as v1 so any receiver can read it. When this codec can speak
+        beyond v1, wait for the receiver's :class:`HelloAck`; a silent
+        receiver (a pre-negotiation build) or an undecodable answer means
+        fall back to JSON — and no trace context — never stall. Trace
+        agreement needs an explicit ``trace_ok`` on the ack, so a legacy
+        peer is never sent a :class:`Traced` envelope.
         """
         writer.write(self.codec.encode(hello, WIRE_VERSION_JSON))
         await writer.drain()
         if self.codec.max_wire_version <= WIRE_VERSION_JSON:
-            return WIRE_VERSION_JSON
+            return WIRE_VERSION_JSON, False
         try:
             ack = await asyncio.wait_for(
                 read_frame(reader, self.codec), self.hello_timeout
             )
         except (asyncio.TimeoutError, asyncio.IncompleteReadError, CodecError):
-            return WIRE_VERSION_JSON
+            return WIRE_VERSION_JSON, False
         if isinstance(ack, HelloAck) and ack.wire_version in SUPPORTED_WIRE_VERSIONS:
-            return min(ack.wire_version, self.codec.max_wire_version)
-        return WIRE_VERSION_JSON
+            version = min(ack.wire_version, self.codec.max_wire_version)
+            return version, bool(ack.trace_ok)
+        return WIRE_VERSION_JSON, False
 
     async def _ack_hello(
         self, hello: Message, writer: asyncio.StreamWriter
@@ -666,7 +785,9 @@ class NodeServer:
 
         A hello announcing only v1 is a legacy dialer that will not read
         an ack — stay silent and speak JSON. Anything newer gets a
-        :class:`HelloAck` (written as v1) naming the agreed version.
+        :class:`HelloAck` (written as v1) naming the agreed version and
+        whether this node records spans (the dialer's go-ahead to send
+        trace context).
         """
         peer_max = getattr(hello, "max_wire_version", WIRE_VERSION_JSON)
         peer_hash = getattr(hello, "registry_hash", "")
@@ -674,7 +795,12 @@ class NodeServer:
         if peer_max > WIRE_VERSION_JSON:
             writer.write(
                 self.codec.encode(
-                    HelloAck(version, self.codec.registry_hash), WIRE_VERSION_JSON
+                    HelloAck(
+                        version,
+                        self.codec.registry_hash,
+                        trace_ok=self._spans_enabled,
+                    ),
+                    WIRE_VERSION_JSON,
                 )
             )
             await writer.drain()
@@ -690,15 +816,34 @@ class NodeServer:
         self._writers.add(writer)
         enable_nodelay(writer)
         try:
+            # Sniff the first 4 bytes: an HTTP method prefix can never be
+            # a legal frame length (b"GET " as a big-endian length is
+            # ~1.2 GB, far above MAX_FRAME_BYTES), so the one listening
+            # port serves both the wire protocol and GET /metrics.
             try:
-                hello = await read_frame(reader, self.codec)
+                header = await reader.readexactly(4)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if header in (b"GET ", b"HEAD"):
+                await self._serve_http(header, reader, writer)
+                return
+            payload_len = int.from_bytes(header, "big")
+            if payload_len > MAX_FRAME_BYTES:
+                return  # corrupt length prefix (or some other protocol)
+            try:
+                payload = await reader.readexactly(payload_len)
+                hello = self.codec.decode_payload(memoryview(payload))
             except (asyncio.IncompleteReadError, ConnectionError, CodecError):
                 return
             if isinstance(hello, NodeHello):
-                await self._ack_hello(hello, writer)
+                version = await self._ack_hello(hello, writer)
+                self._peer_links_in[hello.pid] = version
                 await self._serve_peer(reader, hello.pid)
             elif isinstance(hello, ClientHello):
                 wire_version = await self._ack_hello(hello, writer)
+                self._client_link_versions[wire_version] = (
+                    self._client_link_versions.get(wire_version, 0) + 1
+                )
                 await self._serve_client(reader, writer, wire_version)
             # Anything else: close silently (port scanners, bad handshakes).
         finally:
@@ -730,10 +875,38 @@ class NodeServer:
                 )
                 return  # peer went away; its sender task reconnects
             for message, size in batch:
+                if type(message) is Traced:
+                    message = self._unwrap_traced(message, sender)
                 label = message_label(message)
                 inc(f"recv.{label}")
                 inc(f"recv_bytes.{label}", size)
                 self._deliver(sender, message)
+
+    def _unwrap_traced(self, envelope: Traced, sender: ProcessId) -> Message:
+        """Record the recv span, adopt the slot's trace, return the inner.
+
+        Adopting (``setdefault``) means this node's own responses for the
+        slot — TwoB back to the coordinator, Decide re-broadcasts — carry
+        the same trace onward, so the merger sees the full causal fan-out
+        rather than only the origin's sends.
+        """
+        inner = envelope.inner
+        spans = self.obs.spans
+        if spans.enabled:
+            slot = getattr(inner, "slot", None)
+            spans.record(
+                envelope.trace_id,
+                "recv",
+                self.now,
+                type=message_label(inner),
+                src=sender,
+                origin=envelope.origin,
+                parent=envelope.parent,
+                slot=slot,
+            )
+            if slot is not None and self._slot_traces is not None:
+                self._slot_traces.setdefault(slot, envelope.trace_id)
+        return inner
 
     async def _serve_client(
         self,
@@ -791,6 +964,92 @@ class NodeServer:
                 batch.append(replies.get_nowait())
             writer.write(b"".join(encode(reply, wire_version) for reply in batch))
             await writer.drain()
+
+    async def _serve_http(
+        self,
+        prefix: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Answer one HTTP/1.0 request on the wire port: ``GET /metrics``.
+
+        Minimal by design — one request, ``Connection: close``, no
+        keep-alive — just enough for a Prometheus scraper or ``curl``.
+        The exposition is rendered from the live snapshot with a
+        ``node`` label, so scraping every node of a cluster and letting
+        the server sum counters reproduces ``merge_snapshots``.
+        """
+        try:
+            rest = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), 2.0)
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            return
+        request_line = (prefix + rest).split(b"\r\n", 1)[0].decode(
+            "latin-1", "replace"
+        )
+        parts = request_line.split()
+        path = parts[1].split("?")[0] if len(parts) > 1 else "/"
+        if path in ("/", "/metrics"):
+            status = b"200 OK"
+            body = prometheus_text(
+                self.obs.snapshot(), labels={"node": str(self.pid)}
+            ).encode("utf-8")
+        else:
+            status = b"404 Not Found"
+            body = b"try /metrics\n"
+        head = (
+            b"HTTP/1.0 " + status + b"\r\n"
+            b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        writer.write(head if prefix == b"HEAD" else head + body)
+        await writer.drain()
+        self.obs.registry.inc("net.http_scrapes")
+
+    # ------------------------------------------------------------------
+    # Runtime profiling and the time-series feed.
+    # ------------------------------------------------------------------
+
+    async def _loop_lag_sampler(self) -> None:
+        """Sample event-loop lag: how late a timed sleep actually wakes.
+
+        Lag is the gap between when ``sleep(interval)`` should have
+        returned and when it did — the queueing delay every timer and
+        every activation on this node experiences. The histogram gives
+        the distribution, the gauge the worst stall since launch.
+        """
+        interval = self.loop_lag_interval
+        registry = self.obs.registry
+        loop = asyncio.get_event_loop()
+        while not self._crashed:
+            expected = loop.time() + interval
+            await asyncio.sleep(interval)
+            lag = max(0.0, loop.time() - expected)
+            registry.observe("runtime.loop_lag_seconds", lag)
+            registry.gauge_max("runtime.loop_lag_max_seconds", lag)
+
+    async def _timeseries_writer(self) -> None:
+        """Append one JSONL snapshot row per interval (live dashboards).
+
+        The write is a single short line through a per-tick append —
+        blocking the loop for microseconds at 1 Hz — so no thread pool
+        is needed. Rows are cumulative (counters, not deltas); consumers
+        diff successive rows for rates, exactly like ``repro top``.
+        """
+        path = pathlib.Path(self.timeseries_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        registry = self.obs.registry
+        while not self._crashed:
+            await asyncio.sleep(self.timeseries_interval)
+            row = timeseries_row(self.obs.snapshot(), t=self.now, node=self.pid)
+            with path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(row) + "\n")
+            registry.inc("obs.timeseries_rows")
 
     def _snapshot_reply(self, request: SnapshotRequest) -> List[SnapshotChunk]:
         """Serve a state-transfer request from the *live* replica.
@@ -873,17 +1132,51 @@ class NodeServer:
         records = getattr(self.process, "decision_records", None)
         if callable(records):
             snapshot["decisions"] = records()
+        snapshot["wire"] = self.wire_info()
         return snapshot
+
+    def wire_info(self) -> Dict[str, Any]:
+        """Negotiated codec state, per connection (JSON-safe).
+
+        Closes the PR 6 observability gap: without this, a mixed-codec
+        cluster is indistinguishable from a uniform one when scraping.
+        Keys are strings so the dict survives both wire formats.
+        """
+        return {
+            "codec": "json" if self.codec.wire_version == WIRE_VERSION_JSON else "binary",
+            "wire_version": self.codec.wire_version,
+            "max_wire_version": self.codec.max_wire_version,
+            "registry_hash": self.codec.registry_hash,
+            "peer_links_out": {
+                str(peer): version
+                for peer, version in sorted(self._link_versions.items())
+            },
+            "peer_links_in": {
+                str(peer): version
+                for peer, version in sorted(self._peer_links_in.items())
+            },
+            "client_links": {
+                str(version): count
+                for version, count in sorted(self._client_link_versions.items())
+            },
+            "traced_links": sorted(
+                peer for peer, agreed in self._link_trace.items() if agreed
+            ),
+        }
 
     def _stats_reply(self, request: StatsRequest) -> StatsReply:
         trace: Tuple = ()
         if request.include_trace and self.obs.trace.enabled:
             trace = tuple(self.obs.trace.events())
+        spans: Tuple = ()
+        if request.include_spans and self.obs.spans.enabled:
+            spans = tuple(self.obs.spans.events())
         return StatsReply(
             request_id=request.request_id,
             pid=self.pid,
             snapshot=self.stats_snapshot(),
             trace=trace,
+            spans=spans,
         )
 
 
@@ -894,9 +1187,11 @@ def start_node(
     codec: Optional[MessageCodec] = None,
     client_service: Optional[ClientService] = None,
     trace: bool = False,
+    trace_sample: Optional[int] = None,
     data_dir: Optional[str] = None,
     fsync: bool = True,
     snapshot_every: int = 256,
+    timeseries_path: Optional[str] = None,
 ) -> NodeServer:
     """Build a node for slot *pid* of *addresses* (not yet bound).
 
@@ -915,7 +1210,9 @@ def start_node(
         port=port,
         client_service=client_service,
         trace=trace,
+        trace_sample=trace_sample,
         data_dir=data_dir,
         fsync=fsync,
         snapshot_every=snapshot_every,
+        timeseries_path=timeseries_path,
     )

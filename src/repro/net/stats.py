@@ -27,6 +27,7 @@ async def fetch_node_stats(
     address: Address,
     codec: Optional[MessageCodec] = None,
     include_trace: bool = False,
+    include_spans: bool = False,
     timeout: float = 5.0,
     client_id: str = "stats-scraper",
 ) -> StatsReply:
@@ -47,7 +48,11 @@ async def fetch_node_stats(
         writer.write(codec.encode(ClientHello(client_id), WIRE_VERSION_JSON))
         writer.write(
             codec.encode(
-                StatsRequest(request_id=f"{client_id}:0", include_trace=include_trace),
+                StatsRequest(
+                    request_id=f"{client_id}:0",
+                    include_trace=include_trace,
+                    include_spans=include_spans,
+                ),
                 WIRE_VERSION_JSON,
             )
         )
@@ -67,6 +72,7 @@ async def scrape_cluster(
     addresses: Sequence[Address],
     codec: Optional[MessageCodec] = None,
     include_trace: bool = False,
+    include_spans: bool = False,
     timeout: float = 5.0,
 ) -> Dict[str, Any]:
     """Merge every reachable node's snapshot into one cluster view.
@@ -74,7 +80,8 @@ async def scrape_cluster(
     Returns ``{"nodes": {pid: snapshot|None}, "merged": ...,
     "decisions": ..., "fast_path_ratio": r, "unreachable": [pid, ...]}``
     (plus ``"traces": {pid: [...]}`` when *include_trace* and a node
-    returned events). Node keys come from each reply's own ``pid``;
+    returned events, and ``"spans": {pid: [...]}`` likewise under
+    *include_spans*). Node keys come from each reply's own ``pid``;
     unreachable entries fall back to the address-book index.
     """
     shared = codec if codec is not None else MessageCodec()
@@ -85,6 +92,7 @@ async def scrape_cluster(
                 address,
                 codec=shared,
                 include_trace=include_trace,
+                include_spans=include_spans,
                 timeout=timeout,
                 client_id=f"stats-scraper-{index}",
             )
@@ -97,6 +105,7 @@ async def scrape_cluster(
     )
     nodes: Dict[int, Optional[Dict[str, Any]]] = {}
     traces: Dict[int, List[Any]] = {}
+    spans: Dict[int, List[Any]] = {}
     unreachable: List[int] = []
     for pid, reply in results:
         if reply is None:
@@ -106,6 +115,8 @@ async def scrape_cluster(
         nodes[pid] = reply.snapshot
         if reply.trace:
             traces[pid] = list(reply.trace)
+        if reply.spans:
+            spans[pid] = [dict(event) for event in reply.spans]
     merged = merge_snapshots(snapshot for snapshot in nodes.values())
     decisions = merge_decision_records(
         {
@@ -123,6 +134,8 @@ async def scrape_cluster(
     }
     if traces:
         view["traces"] = traces
+    if spans:
+        view["spans"] = spans
     return view
 
 
@@ -158,4 +171,16 @@ def describe_cluster_stats(view: Dict[str, Any]) -> str:
     )
     if sent:
         parts.append(f"bytes sent: {sent:,}")
+    wires = []
+    for pid in sorted(pid for pid, snap in view["nodes"].items() if snap is not None):
+        wire = view["nodes"][pid].get("wire")
+        if not wire:
+            continue
+        registry_hash = wire.get("registry_hash", "")
+        wires.append(
+            f"n{pid}={wire.get('codec', '?')}"
+            f"@{registry_hash[:8] if registry_hash else '?'}"
+        )
+    if wires:
+        parts.append("wire: " + " ".join(wires))
     return "; ".join(parts)

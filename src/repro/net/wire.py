@@ -31,6 +31,13 @@ mismatch), and the dialer speaks that version for the rest of the
 connection. A dialer announcing ``max_wire_version <= 1`` is a legacy
 peer: no ack is sent and the link stays on JSON — which is also the
 fallback when an announced dialer hears no ack within the hello timeout.
+
+Trace negotiation rides the same handshake: a dialer that records spans
+sets ``trace_ok`` on its hello, the receiver echoes its own span support
+on the :class:`HelloAck`, and only links where *both* ends agreed carry
+:class:`Traced` envelopes. A legacy or span-less peer never sees a trace
+frame — the sender unwraps before encoding for that link — so traced and
+untraced nodes interoperate exactly like mixed-codec ones.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ class NodeHello(Message):
     pid: int
     max_wire_version: int = 1
     registry_hash: str = ""
+    trace_ok: bool = False
 
 
 @dataclass(frozen=True)
@@ -67,6 +75,7 @@ class ClientHello(Message):
     client_id: str
     max_wire_version: int = 1
     registry_hash: str = ""
+    trace_ok: bool = False
 
 
 @dataclass(frozen=True)
@@ -76,11 +85,32 @@ class HelloAck(Message):
     Always encoded as wire version 1. ``wire_version`` is the format both
     sides speak from here on; ``registry_hash`` is the receiver's table
     fingerprint (diagnostic — a mismatch already forces ``wire_version``
-    to 1).
+    to 1). ``trace_ok`` reports whether the receiver records spans — the
+    dialer only sends :class:`Traced` envelopes (or trace-stamped
+    submits) when both ends said yes.
     """
 
     wire_version: int
     registry_hash: str = ""
+    trace_ok: bool = False
+
+
+@dataclass(frozen=True)
+class Traced(Message):
+    """Span-context envelope around a hot SMR frame.
+
+    ``trace_id`` names the sampled command batch, ``origin`` is the node
+    that minted it (the sealing proxy), ``parent`` is the sender-side
+    span seq this frame causally follows. Only sent on links where the
+    handshake agreed ``trace_ok`` on both ends; the receiver records a
+    ``recv`` span and processes ``inner`` exactly as if it had arrived
+    bare, so tracing never changes protocol behavior.
+    """
+
+    trace_id: str
+    origin: int
+    parent: int
+    inner: Message
 
 
 @dataclass(frozen=True)
@@ -94,6 +124,7 @@ class ClientSubmit(Message):
 
     request_id: str
     command: KVCommand
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -113,6 +144,7 @@ class ClientReply(Message):
     result: Any
     commit_seconds: float
     duplicate: bool = False
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -158,11 +190,13 @@ class StatsRequest(Message):
     Answered regardless of whether the node hosts a client service —
     statistics are a property of the runtime, not of the KV layer. Set
     ``include_trace`` to also receive the node's retained flight-recorder
-    events (only meaningful when the node was launched with tracing on).
+    events (only meaningful when the node was launched with tracing on);
+    ``include_spans`` likewise pulls the retained span-recorder window.
     """
 
     request_id: str
     include_trace: bool = False
+    include_spans: bool = False
 
 
 @dataclass(frozen=True)
@@ -174,10 +208,12 @@ class StatsReply(Message):
     the hosted process is an SMR replica;
     :func:`repro.obs.merge_snapshots` /
     :func:`repro.obs.merge_decision_records` fold replies cluster-wide.
-    ``trace`` carries the retained ring-buffer events when requested.
+    ``trace`` carries the retained ring-buffer events when requested;
+    ``spans`` carries the span-recorder window when ``include_spans``.
     """
 
     request_id: str
     pid: int
     snapshot: Any
     trace: Any = ()
+    spans: Any = ()

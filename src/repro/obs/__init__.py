@@ -10,7 +10,12 @@ delays*; this package makes that measurable. It has three parts:
   bounded flight-recorder ring buffer, dumpable as JSONL;
 * :mod:`~repro.obs.decisions` — per-slot decision records tagged
   ``fast | slow | learned`` and their cluster-wide merge, yielding the
-  **fast-path ratio** that empirically checks Theorems 5/6.
+  **fast-path ratio** that empirically checks Theorems 5/6;
+* :mod:`~repro.obs.spans` — **opt-in** causal per-command spans sampled
+  at batch seal and carried across the wire, merged into per-command
+  critical paths that split fast-path from recovery-path latency;
+* :mod:`~repro.obs.export` — Prometheus text exposition and JSONL
+  time-series rows rendered from any snapshot.
 
 Both runtimes are instrumented through the one seam they share: the
 :class:`repro.core.process.Context` handed to every activation exposes
@@ -46,6 +51,17 @@ from .registry import (
     default_latency_bounds,
     fast_path_ratio,
     merge_snapshots,
+)
+from .export import prometheus_text, timeseries_row
+from .spans import (
+    DEFAULT_SPAN_CAPACITY,
+    NULL_SPANS,
+    NullSpans,
+    SpanRecorder,
+    critical_path,
+    critical_paths,
+    merge_span_events,
+    stage_breakdown,
 )
 from .trace import DEFAULT_CAPACITY, NullTrace, TraceRecorder
 
@@ -83,29 +99,36 @@ class Observability:
     hot paths touch at most two attribute lookups before a counter add.
     """
 
-    __slots__ = ("registry", "trace", "node")
+    __slots__ = ("registry", "trace", "spans", "node")
 
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         trace: Optional[TraceRecorder] = None,
+        spans: Optional[SpanRecorder] = None,
         node: Optional[int] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace if trace is not None else NullTrace()
+        self.spans = spans if spans is not None else NullSpans()
         self.node = node
 
     @classmethod
     def disabled(cls, node: Optional[int] = None) -> "Observability":
         """Metrics *and* trace off — what ``NULL_OBS`` hands out."""
-        return cls(registry=NullRegistry(), trace=NullTrace(), node=node)
+        return cls(
+            registry=NullRegistry(), trace=NullTrace(), spans=NullSpans(), node=node
+        )
 
     def snapshot(self) -> Dict[str, Any]:
-        """Registry snapshot plus retained trace length (JSON-safe)."""
+        """Registry snapshot plus retained trace/span lengths (JSON-safe)."""
         snapshot = self.registry.snapshot()
         if self.trace.enabled:
             snapshot["trace_events"] = len(self.trace)
             snapshot["trace_dropped"] = self.trace.dropped
+        if self.spans.enabled:
+            snapshot["span_events"] = len(self.spans)
+            snapshot["span_dropped"] = self.spans.dropped
         return snapshot
 
 
@@ -116,22 +139,32 @@ NULL_OBS = Observability.disabled()
 __all__ = [
     "Counter",
     "DEFAULT_CAPACITY",
+    "DEFAULT_SPAN_CAPACITY",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBS",
+    "NULL_SPANS",
     "NullRegistry",
+    "NullSpans",
     "NullTrace",
     "Observability",
     "PATH_FAST",
     "PATH_LEARNED",
     "PATH_SLOW",
+    "SpanRecorder",
     "TraceRecorder",
+    "critical_path",
+    "critical_paths",
     "decision_record",
     "default_latency_bounds",
     "fast_path_ratio",
     "merge_decision_records",
     "merge_snapshots",
+    "merge_span_events",
     "message_label",
+    "prometheus_text",
     "slot_paths",
+    "stage_breakdown",
+    "timeseries_row",
 ]

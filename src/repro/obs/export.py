@@ -1,0 +1,188 @@
+"""Export surfaces for registry snapshots: Prometheus text + JSONL rows.
+
+Two consumers, two formats, one source (`Observability.snapshot()`):
+
+* :func:`prometheus_text` renders a snapshot in the Prometheus text
+  exposition format (v0.0.4) — counters, high-water gauges, and
+  cumulative-bucket histograms — so any off-the-shelf scraper can point
+  at a node's client port and `GET /metrics` (the `NodeServer` sniffs
+  HTTP on the same port the length-prefixed wire protocol uses; a
+  4-byte ASCII method prefix can never be a legal frame length).
+* :func:`timeseries_row` flattens the operationally interesting subset
+  into one JSON-safe dict per sample tick; `NodeServer` appends one row
+  per interval to `<dir>/node-<pid>.jsonl`, giving post-hoc dashboards
+  a replayable feed without any scraper running.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["prometheus_text", "timeseries_row"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_PREFIX = "repro_"
+
+
+def _metric_name(raw: str) -> str:
+    """`smr.commit_seconds` → `repro_smr_commit_seconds` (spec-legal)."""
+    name = _NAME_OK.sub("_", raw.replace(".", "_"))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return _PREFIX + name
+
+
+def _render_labels(labels: Optional[Mapping[str, str]], extra: str = "") -> str:
+    parts = []
+    if labels:
+        for key, value in sorted(labels.items()):
+            escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+            parts.append(f'{key}="{escaped}"')
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == float("inf"):
+        return "+Inf"
+    if number == float("-inf"):
+        return "-Inf"
+    return repr(number) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(
+    snapshot: Mapping[str, Any], labels: Optional[Mapping[str, str]] = None
+) -> str:
+    """Render one node's snapshot in Prometheus text exposition format.
+
+    Counters keep their monotonic semantics, gauges are the high-water
+    marks the registry tracks, and each histogram becomes the standard
+    cumulative `_bucket{le=...}` series plus `_sum` and `_count` (the
+    registry's buckets are per-bucket counts with inclusive upper
+    edges, so the cumulative transform is a running sum ending at
+    `+Inf` = total count).
+    """
+    lines = []
+    plain = _render_labels(labels)
+
+    for raw in sorted(snapshot.get("counters", {})):
+        name = _metric_name(raw)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(
+            f"{name}{plain} {_format_value(snapshot['counters'][raw])}"
+        )
+
+    for raw in sorted(snapshot.get("gauges", {})):
+        name = _metric_name(raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{plain} {_format_value(snapshot['gauges'][raw])}")
+
+    for raw in sorted(snapshot.get("histograms", {})):
+        histogram = snapshot["histograms"][raw]
+        name = _metric_name(raw)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        bounds = histogram.get("bounds", ())
+        counts = histogram.get("counts", ())
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            le = _render_labels(labels, f'le="{_format_value(float(bound))}"')
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        total = histogram.get("count", 0)
+        inf = _render_labels(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{inf} {total}")
+        lines.append(f"{name}_sum{plain} {_format_value(histogram.get('sum', 0.0))}")
+        lines.append(f"{name}_count{plain} {total}")
+
+    return "\n".join(lines) + "\n"
+
+
+def _histogram_percentile(
+    histograms: Mapping[str, Any], name: str, q: float
+) -> Optional[float]:
+    """Percentile straight off a snapshot dict (no Histogram object)."""
+    histogram = histograms.get(name)
+    if not histogram or not histogram.get("count"):
+        return None
+    if q == 1.0:
+        return histogram.get("max")
+    bounds = histogram.get("bounds", ())
+    counts = histogram.get("counts", ())
+    rank = q * histogram["count"]
+    seen = 0
+    for index, count in enumerate(counts):
+        seen += count
+        if seen >= rank and count:
+            if index < len(bounds):
+                edge = float(bounds[index])
+                ceiling = histogram.get("max")
+                return edge if ceiling is None else min(edge, ceiling)
+            return histogram.get("max")
+    return histogram.get("max")
+
+
+def timeseries_row(
+    snapshot: Mapping[str, Any], t: float, node: int
+) -> Dict[str, Any]:
+    """One flat JSONL row: the live-dashboard subset of a snapshot."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    commits = histograms.get("smr.commit_seconds", {})
+    fast = counters.get("consensus.decisions_fast", 0)
+    slow = counters.get("consensus.decisions_slow", 0)
+    return {
+        "t": t,
+        "node": node,
+        "decisions_fast": fast,
+        "decisions_slow": slow,
+        "decisions_learned": counters.get("consensus.decisions_learned", 0),
+        "slots_decided": counters.get("smr.slots_decided", 0),
+        "commands_committed": commits.get("count", 0),
+        "commit_p50_ms": _scale(
+            _histogram_percentile(histograms, "smr.commit_seconds", 0.5)
+        ),
+        "commit_p99_ms": _scale(
+            _histogram_percentile(histograms, "smr.commit_seconds", 0.99)
+        ),
+        "queue_p99_ms": _scale(
+            _histogram_percentile(histograms, "stage.queue_seconds", 0.99)
+        ),
+        "consensus_p99_ms": _scale(
+            _histogram_percentile(histograms, "stage.consensus_seconds", 0.99)
+        ),
+        "loop_lag_p99_ms": _scale(
+            _histogram_percentile(histograms, "runtime.loop_lag_seconds", 0.99)
+        ),
+        "fsync_p99_ms": _scale(
+            _histogram_percentile(histograms, "storage.fsync_seconds", 0.99)
+        ),
+        "sent_bytes": sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("sent_bytes.")
+        ),
+        "recv_bytes": sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("recv_bytes.")
+        ),
+        "outbox_hwm": max(
+            (
+                value
+                for name, value in gauges.items()
+                if name.startswith("net.outbox_hwm.")
+            ),
+            default=0,
+        ),
+        "span_events": snapshot.get("span_events", 0),
+    }
+
+
+def _scale(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else seconds * 1000.0

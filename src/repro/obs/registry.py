@@ -122,18 +122,31 @@ class Histogram:
         return self.sum / self.count if self.count else None
 
     def percentile(self, q: float) -> Optional[float]:
-        """Upper-edge estimate of the *q*-quantile (``0 < q <= 1``)."""
+        """Upper-edge estimate of the *q*-quantile (``0 < q <= 1``).
+
+        ``q = 1.0`` is exact: the max sidecar tracks every observation,
+        so the full quantile never over-reports by a bucket edge (the
+        single-sample-in-a-bucket case). Interior quantiles are bucket
+        upper edges, clamped to the observed max so a lone sample in a
+        wide bucket reports its true value rather than the edge.
+        Every input (bounds, counts, min/max, count) is
+        order-independent under :meth:`merge`, so merge-then-percentile
+        equals percentile-of-the-union by construction.
+        """
         if not 0.0 < q <= 1.0:
             raise ValueError(f"quantile must be in (0, 1], got {q}")
         if not self.count:
             return None
+        if q == 1.0:
+            return self.max
         rank = q * self.count
         seen = 0
         for index, count in enumerate(self.counts):
             seen += count
             if seen >= rank and count:
                 if index < len(self.bounds):
-                    return self.bounds[index]
+                    edge = self.bounds[index]
+                    return edge if self.max is None else min(edge, self.max)
                 return self.max  # overflow bucket: exact observed max
         return self.max
 
@@ -257,7 +270,10 @@ def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         for name, payload in snapshot.get("histograms", {}).items():
             incoming = Histogram.from_dict(payload)
             if name in histograms:
-                histograms[name].merge(incoming)
+                try:
+                    histograms[name].merge(incoming)
+                except ValueError as error:
+                    raise ValueError(f"histogram {name!r}: {error}") from None
             else:
                 histograms[name] = incoming
     return {

@@ -28,6 +28,7 @@ from ..core.messages import Message
 from ..core.process import CLIENT, Context, Process, ProcessFactory, ProcessId
 from ..obs import (
     Observability,
+    SpanRecorder,
     merge_decision_records,
     merge_snapshots,
     message_label,
@@ -131,6 +132,7 @@ class Simulation:
         proposals: Optional[Mapping[ProcessId, MaybeValue]] = None,
         delivery_priority: Optional[DeliveryPriority] = None,
         f: Optional[int] = None,
+        trace_sample: Optional[int] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one process, got n={n}")
@@ -142,8 +144,19 @@ class Simulation:
         self.time = 0.0
         # One metrics registry per simulated node — the exact shape the
         # live runtime exposes, so fast-path ratios cross-check directly.
+        # ``trace_sample`` arms a per-node span recorder exactly like the
+        # live runtime's knob; span timestamps are virtual seconds, so the
+        # recorded critical paths stay deterministic.
         self.obs: List[Observability] = [
-            Observability(node=pid) for pid in range(n)
+            Observability(
+                node=pid,
+                spans=(
+                    SpanRecorder(sample=trace_sample)
+                    if trace_sample is not None
+                    else None
+                ),
+            )
+            for pid in range(n)
         ]
         self.run_record = Run(n, dict(proposals or {}))
         self.processes: List[Process] = [factory(pid, n) for pid in range(n)]
@@ -366,6 +379,20 @@ class Simulation:
         if callable(records):
             snapshot["decisions"] = records()
         return snapshot
+
+    def span_events(self) -> Dict[ProcessId, List[dict]]:
+        """Per-node recorded span events (empty unless ``trace_sample``).
+
+        Feed the result straight into
+        :func:`repro.obs.merge_span_events` /
+        :func:`repro.obs.critical_paths` — timestamps are virtual
+        seconds, so the same seed always yields the same paths.
+        """
+        return {
+            pid: list(obs.spans.events())
+            for pid, obs in enumerate(self.obs)
+            if obs.spans.enabled and len(obs.spans)
+        }
 
     def stats(self) -> dict:
         """Cluster-wide merged view: counters, gauges, histograms, slots.

@@ -69,9 +69,14 @@ class Slotted(Message):
 
 @dataclass(frozen=True)
 class SubmitCommand(ClientRequest):
-    """Client submission of a command to its proxy replica."""
+    """Client submission of a command to its proxy replica.
+
+    ``trace_id`` is non-empty when the submitting client asked for this
+    command to be span-traced; the replica adopts it at batch seal.
+    """
 
     command: KVCommand
+    trace_id: str = ""
 
 
 class _SharedOmega(OmegaService):
@@ -175,6 +180,12 @@ class SMRReplica(Process):
         self.results: Dict[str, Tuple[Any, float]] = {}  # id -> (result, apply time)
         self.decision_log: Dict[int, Dict[str, Any]] = {}  # slot -> decision record
         self._slot_proposed: Dict[int, float] = {}  # slot -> my first propose time
+        # Span-tracing state (all empty unless ctx.obs.spans is enabled):
+        # a sampled slot carries one trace id from seal to apply, and each
+        # traced command remembers its trace so the reply can echo it.
+        self.slot_traces: Dict[int, str] = {}  # slot -> trace id
+        self.pending_traces: Dict[str, str] = {}  # command_id -> client trace id
+        self.command_traces: Dict[str, str] = {}  # command_id -> trace id
         # Slots whose inner state may have changed this activation; the
         # durability layer drains this after every activation to journal
         # only genuine changes. Bounded by ``_slots`` (same keys), so
@@ -193,7 +204,7 @@ class SMRReplica(Process):
         if self.omega.handle_message(ctx, sender, message):
             return
         if isinstance(message, SubmitCommand):
-            self.submit(ctx, message.command)
+            self.submit(ctx, message.command, trace_id=message.trace_id or None)
         elif isinstance(message, Slotted):
             if message.slot < self.applied_upto and message.slot not in self._slots:
                 # The slot was applied and its machinery truncated away
@@ -224,11 +235,15 @@ class SMRReplica(Process):
     # The proxy role.
     # ------------------------------------------------------------------
 
-    def submit(self, ctx: Context, command: KVCommand) -> None:
+    def submit(
+        self, ctx: Context, command: KVCommand, trace_id: Optional[str] = None
+    ) -> None:
         """Accept a client command; propose it as soon as a slot is free."""
         if not command.command_id:
             raise ConfigurationError("commands need a unique command_id")
         self.submissions.setdefault(command.command_id, ctx.now)
+        if trace_id and ctx.obs.spans.enabled:
+            self.pending_traces[command.command_id] = trace_id
         self._queue.append(command)
         self._try_propose(ctx)
 
@@ -264,11 +279,49 @@ class SMRReplica(Process):
             if inner.initial_val == value:
                 self._inflight[slot] = value
                 self._slot_proposed.setdefault(slot, ctx.now)
+                self._trace_seal(ctx, slot, picked)
             else:
                 # Refused (slot already voted); retry on the next decide.
                 for command in reversed(picked):
                     self._queue.appendleft(command)
                 return
+
+    def _trace_seal(self, ctx: Context, slot: int, picked: list) -> None:
+        """Stage accounting + trace adoption at batch seal (proxy-side).
+
+        ``stage.queue_seconds`` (submit → seal) is always on — one
+        histogram observe per command, same budget class as
+        ``smr.commit_seconds``. Span work only runs when the node
+        records spans: the slot adopts the first client-stamped trace
+        among the sealed commands, else the sampler may mint one.
+        """
+        now = ctx.now
+        registry = ctx.obs.registry
+        for command in picked:
+            submitted = self.submissions.get(command.command_id)
+            if submitted is not None:
+                registry.observe("stage.queue_seconds", now - submitted)
+        spans = ctx.obs.spans
+        if not spans.enabled:
+            return
+        trace_id = None
+        for command in picked:
+            adopted = self.pending_traces.pop(command.command_id, None)
+            if adopted and trace_id is None:
+                trace_id = adopted
+        if trace_id is None:
+            trace_id = spans.maybe_sample(self.pid, slot)
+        if trace_id is None:
+            return
+        self.slot_traces[slot] = trace_id
+        for command in picked:
+            self.command_traces[command.command_id] = trace_id
+            submitted = self.submissions.get(command.command_id)
+            if submitted is not None:
+                # Retroactive: the submit instant is known, the decision
+                # to trace was only just made at seal.
+                spans.record(trace_id, "submit", submitted, command=command.command_id)
+        spans.record(trace_id, "seal", now, slot=slot, commands=len(picked))
 
     def _find_free_slot(self) -> Optional[int]:
         slot = self.applied_upto
@@ -319,6 +372,21 @@ class SMRReplica(Process):
         )
         registry = ctx.obs.registry
         registry.inc("smr.slots_decided")
+        if slot_latency is not None:
+            # Seal → decide at the proposer: the consensus stage proper,
+            # split by path so 2Δ sits next to the recovery rule's cost.
+            registry.observe("stage.consensus_seconds", slot_latency)
+            registry.observe(f"stage.consensus_seconds.{path}", slot_latency)
+        trace_id = self.slot_traces.get(slot)
+        if trace_id is not None:
+            ctx.obs.spans.record(
+                trace_id,
+                "decide",
+                ctx.now,
+                slot=slot,
+                path=path,
+                ballot=getattr(inner, "decided_ballot", None),
+            )
         for command in commands_in(decided):
             if command.command_id:
                 self.commit_times.setdefault(command.command_id, ctx.now)
@@ -341,10 +409,20 @@ class SMRReplica(Process):
 
     def _apply_ready(self, ctx: Context) -> None:
         while self.applied_upto in self.decided:
-            for command in commands_in(self.decided[self.applied_upto]):
+            slot = self.applied_upto
+            for command in commands_in(self.decided[slot]):
                 result = self.store.apply(command)
                 if command.command_id in self.submissions:
                     self.results.setdefault(command.command_id, (result, ctx.now))
+            decided_at = self.decide_times.get(slot, 0.0)
+            if decided_at:
+                # decide → apply; zero for slots applied in the deciding
+                # activation, the in-order wait for out-of-order decides.
+                # Restored slots (decide time 0.0) are skipped.
+                ctx.obs.registry.observe("stage.apply_seconds", ctx.now - decided_at)
+            trace_id = self.slot_traces.get(slot)
+            if trace_id is not None:
+                ctx.obs.spans.record(trace_id, "apply", ctx.now, slot=slot)
             self.applied_upto += 1
 
     # ------------------------------------------------------------------
@@ -449,6 +527,8 @@ class SMRReplica(Process):
                         and command.command_id not in self.store.applied_ids
                     ):
                         self._queue.appendleft(command)
+        for stale in [s for s in self.slot_traces if s < slot]:
+            del self.slot_traces[stale]
         self.dirty_slots = {s for s in self.dirty_slots if s >= slot}
         return removed
 

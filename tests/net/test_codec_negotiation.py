@@ -96,7 +96,7 @@ def test_binary_peers_actually_negotiate_v2():
             try:
                 from repro.net.wire import NodeHello
 
-                version = await node._shake_hands(
+                version, trace_ok = await node._shake_hands(
                     reader,
                     writer,
                     NodeHello(
@@ -106,6 +106,8 @@ def test_binary_peers_actually_negotiate_v2():
                     ),
                 )
                 assert version == WIRE_VERSION_BINARY
+                # Neither end records spans: the link must stay untraced.
+                assert trace_ok is False
             finally:
                 writer.close()
 
@@ -123,7 +125,7 @@ def test_registry_skew_downgrades_to_json():
             try:
                 from repro.net.wire import NodeHello
 
-                version = await node._shake_hands(
+                version, _ = await node._shake_hands(
                     reader,
                     writer,
                     NodeHello(0, max_wire_version=2, registry_hash="00ff00ff00ff00ff"),

@@ -69,6 +69,8 @@ async def _pipelined_run(
     data_dir: str | None = None,
     fsync: bool = True,
     codec_name: str = "json",
+    trace_sample: int | None = None,
+    client_trace_sample: int = 0,
 ) -> float:
     """One 1500-command pipelined run; returns throughput (commands/s)."""
     cluster = LocalCluster(
@@ -78,6 +80,7 @@ async def _pipelined_run(
         data_dir=data_dir,
         fsync=fsync,
         codec=make_codec(codec_name),
+        trace_sample=trace_sample,
     )
     if not metrics:
         # LocalCluster has no obs knob by design (metrics are the
@@ -91,6 +94,7 @@ async def _pipelined_run(
             count=COMMANDS,
             pipeline=64,
             codec=cluster.codec,
+            trace_sample=client_trace_sample,
         )
         assert report.failed == 0, report.errors
         assert report.completed == COMMANDS
@@ -137,6 +141,29 @@ def test_metrics_overhead_stays_bounded():
         assert with_metrics >= OVERHEAD_GUARD * without_metrics, (
             f"metrics-on throughput {with_metrics:,.0f}/s fell below "
             f"{OVERHEAD_GUARD:.0%} of metrics-off {without_metrics:,.0f}/s"
+        )
+
+    asyncio.run(asyncio.wait_for(live(), HARD_TIMEOUT))
+
+
+def test_tracing_overhead_stays_bounded():
+    """Span tracing must fit inside the same observability budget.
+
+    A traced run — every node self-sampling every 8th sealed slot AND
+    the clients stamping every 8th command — is compared against the
+    default spans-off run. The stated ceiling is the 5% budget shared
+    with metrics (``docs/OBSERVABILITY.md``); the guard here is the same
+    deliberately loose CI ratio as the metrics one, catching a tracing
+    path that accidentally encodes spans per message rather than per
+    sampled slot.
+    """
+
+    async def live():
+        untraced = await _pipelined_run()
+        traced = await _pipelined_run(trace_sample=8, client_trace_sample=8)
+        assert traced >= OVERHEAD_GUARD * untraced, (
+            f"traced throughput {traced:,.0f}/s fell below "
+            f"{OVERHEAD_GUARD:.0%} of untraced {untraced:,.0f}/s"
         )
 
     asyncio.run(asyncio.wait_for(live(), HARD_TIMEOUT))

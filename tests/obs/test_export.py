@@ -1,0 +1,108 @@
+"""Unit tests for the export surfaces: Prometheus text and JSONL rows.
+
+The exposition-format assertions here are the same ones the CI smoke
+step applies to a live node's ``GET /metrics`` response — every
+``# TYPE`` declared before its samples, cumulative buckets ending at
+``+Inf``, `_count` equal to the histogram total.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, prometheus_text, timeseries_row
+
+
+def _loaded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("sent.TwoA", 5)
+    registry.inc("consensus.decisions_fast", 3)
+    registry.gauge_max("net.outbox_hwm.1", 7)
+    for value in (0.0005, 0.002, 0.002, 9.0):
+        registry.observe("smr.commit_seconds", value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms_render(self):
+        text = prometheus_text(_loaded_registry().snapshot())
+        assert "# TYPE repro_sent_TwoA counter" in text
+        assert "repro_sent_TwoA 5" in text
+        assert "# TYPE repro_net_outbox_hwm_1 gauge" in text
+        assert "repro_net_outbox_hwm_1 7" in text
+        assert "# TYPE repro_smr_commit_seconds histogram" in text
+        assert 'repro_smr_commit_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_smr_commit_seconds_count 4" in text
+        assert text.endswith("\n")
+
+    def test_buckets_are_cumulative_and_end_at_total(self):
+        text = prometheus_text(_loaded_registry().snapshot())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_smr_commit_seconds_bucket")
+        ]
+        assert counts == sorted(counts)  # cumulative = monotone
+        assert counts[-1] == 4  # +Inf bucket equals count
+        total = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_smr_commit_seconds_sum")
+        ]
+        assert float(total[0].rsplit(" ", 1)[1]) == pytest.approx(9.0045)
+
+    def test_type_line_precedes_samples(self):
+        lines = prometheus_text(_loaded_registry().snapshot()).splitlines()
+        seen_types = set()
+        for line in lines:
+            if line.startswith("# TYPE "):
+                seen_types.add(line.split()[2])
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    base = name[: -len(suffix)]
+                    break
+            assert base in seen_types, line
+
+    def test_labels_are_rendered_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        text = prometheus_text(
+            registry.snapshot(), labels={"node": '0"quoted"'}
+        )
+        assert 'repro_x{node="0\\"quoted\\""} 1' in text
+
+    def test_metric_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.inc("sent_bytes.TwoA-odd name")
+        registry.inc("9starts.with.digit")
+        text = prometheus_text(registry.snapshot())
+        assert "repro_sent_bytes_TwoA_odd_name 1" in text
+        assert "repro__9starts_with_digit 1" in text
+
+    def test_empty_snapshot_renders_empty_document(self):
+        assert prometheus_text(MetricsRegistry().snapshot()) == "\n"
+
+
+class TestTimeseriesRow:
+    def test_row_is_flat_and_json_safe(self):
+        registry = _loaded_registry()
+        registry.inc("sent_bytes.TwoA", 1000)
+        registry.inc("recv_bytes.TwoB", 500)
+        row = timeseries_row(registry.snapshot(), t=12.5, node=2)
+        json.dumps(row)  # must not raise
+        assert row["t"] == 12.5 and row["node"] == 2
+        assert row["decisions_fast"] == 3
+        assert row["commands_committed"] == 4
+        assert row["sent_bytes"] == 1000 and row["recv_bytes"] == 500
+        assert row["outbox_hwm"] == 7
+        # p99 clamps to the observed max (9.0s → ms).
+        assert row["commit_p99_ms"] == pytest.approx(9000.0)
+
+    def test_empty_snapshot_row_uses_none_latencies(self):
+        row = timeseries_row(MetricsRegistry().snapshot(), t=0.0, node=0)
+        assert row["commit_p50_ms"] is None
+        assert row["commands_committed"] == 0
+        assert row["span_events"] == 0

@@ -1,0 +1,121 @@
+"""Property tests: percentile exactness and merge-order independence.
+
+The percentile estimator returns bucket upper edges clamped to the
+observed max, and every input to the estimate (bounds, per-bucket
+counts, min/max, total) is itself order-independent under merge — so
+merging snapshots then taking a percentile must equal taking the
+percentile of one histogram fed the union of samples.  Hypothesis
+drives that equality over arbitrary sample partitions; the exactness
+cases pin the satellite fix (a bucket holding a single value at q=1.0
+reports the value, not the bucket edge).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, MetricsRegistry, merge_snapshots
+
+BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+quantiles = st.sampled_from((0.5, 0.9, 0.99, 1.0))
+
+
+def _fill(values) -> Histogram:
+    histogram = Histogram(bounds=BOUNDS)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class TestExactness:
+    def test_q1_returns_exact_max_not_bucket_edge(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(1.5)
+        assert histogram.percentile(1.0) == 1.5
+
+    def test_single_value_in_overflow_bucket_is_exact(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(123.456)
+        assert histogram.percentile(1.0) == 123.456
+        assert histogram.percentile(0.5) == 123.456
+
+    def test_interior_quantile_clamps_edge_to_observed_max(self):
+        histogram = Histogram(bounds=(10.0, 1000.0))
+        histogram.observe(11.0)
+        histogram.observe(12.0)
+        # Both samples sit in the (10, 1000] bucket whose edge wildly
+        # overstates them; the clamp caps the estimate at the max.
+        assert histogram.percentile(0.5) == 12.0
+        assert histogram.percentile(0.99) == 12.0
+
+
+class TestMergeConsistency:
+    @given(left=samples, right=samples, q=quantiles)
+    @settings(max_examples=150, deadline=None)
+    def test_merge_then_percentile_equals_percentile_of_union(
+        self, left, right, q
+    ):
+        merged = _fill(left)
+        merged.merge(_fill(right))
+        union = _fill(left + right)
+        assert merged.percentile(q) == union.percentile(q)
+
+    @given(left=samples, right=samples, q=quantiles)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_commutative_for_percentiles(self, left, right, q):
+        ab = _fill(left)
+        ab.merge(_fill(right))
+        ba = _fill(right)
+        ba.merge(_fill(left))
+        assert ab.percentile(q) == ba.percentile(q)
+
+    @given(values=samples, q=quantiles)
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_roundtrip_preserves_percentiles(self, values, q):
+        histogram = _fill(values)
+        restored = Histogram.from_dict(histogram.to_dict())
+        assert restored.percentile(q) == histogram.percentile(q)
+
+
+class TestMergeSnapshots:
+    def test_heterogeneous_bounds_raise_with_histogram_name(self):
+        # Snapshots from differently-configured nodes (e.g. an old build
+        # with other default bounds): merge must fail loudly, naming the
+        # offending histogram, not silently misbucket.
+        def snapshot_with(bounds):
+            histogram = Histogram(bounds=bounds)
+            histogram.observe(0.5)
+            return {
+                "counters": {},
+                "gauges": {},
+                "histograms": {"smr.commit_seconds": histogram.to_dict()},
+            }
+
+        with pytest.raises(ValueError, match="smr.commit_seconds"):
+            merge_snapshots(
+                [snapshot_with((1.0, 2.0)), snapshot_with((1.0, 3.0))]
+            )
+
+    def test_unreachable_nodes_contribute_nothing(self):
+        live = MetricsRegistry()
+        live.inc("consensus.decisions_fast", 2)
+        live.observe("smr.commit_seconds", 0.25)
+        merged = merge_snapshots([None, live.snapshot(), None, None])
+        assert merged["counters"] == {"consensus.decisions_fast": 2}
+        assert merged["histograms"]["smr.commit_seconds"]["count"] == 1
+
+    def test_disjoint_histogram_names_union(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("stage.queue_seconds", 0.1)
+        b.observe("stage.apply_seconds", 0.2)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert set(merged["histograms"]) == {
+            "stage.queue_seconds",
+            "stage.apply_seconds",
+        }

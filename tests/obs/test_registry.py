@@ -39,9 +39,18 @@ class TestHistogramBucketing:
         assert histogram.counts == [0, 1, 0, 0]
         assert histogram.mean == 1.5
         assert histogram.min == histogram.max == 1.5
-        # Percentile estimates report the bucket's upper edge.
-        assert histogram.percentile(0.5) == 2.0
-        assert histogram.percentile(1.0) == 2.0
+        # Bucket-edge estimates are clamped to the observed max, so a
+        # lone sample reports its exact value (q=1.0 is always the max).
+        assert histogram.percentile(0.5) == 1.5
+        assert histogram.percentile(1.0) == 1.5
+
+    def test_interior_percentile_reports_edge_when_max_is_beyond(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        histogram.observe(1.5)
+        histogram.observe(1.6)
+        histogram.observe(3.5)  # max lives beyond the p50 bucket
+        assert histogram.percentile(0.5) == 2.0  # edge, not clamped
+        assert histogram.percentile(1.0) == 3.5  # exact
 
     def test_upper_edges_are_inclusive(self):
         histogram = Histogram(bounds=(1.0, 2.0))

@@ -1,0 +1,162 @@
+"""Unit tests for span recording and the critical-path merger.
+
+Synthetic traces here are hand-built in virtual seconds, one fast-path
+and one recovery-path command, so the merger's output is exact: the
+stage deltas pin the clock-skew rule (origin-node subtractions only)
+and the breakdown pins the fast-vs-recovery split the live loadgen
+reports.
+"""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SPAN_CAPACITY,
+    NULL_SPANS,
+    NullSpans,
+    Observability,
+    SpanRecorder,
+    critical_path,
+    critical_paths,
+    merge_span_events,
+    stage_breakdown,
+)
+
+
+class TestSpanRecorder:
+    def test_every_nth_seal_is_sampled(self):
+        spans = SpanRecorder(sample=3)
+        minted = [spans.maybe_sample(0, slot) for slot in range(7)]
+        assert minted == ["t0.0", None, None, "t0.3", None, None, "t0.6"]
+
+    def test_sample_one_traces_every_seal(self):
+        spans = SpanRecorder(sample=1)
+        assert [spans.maybe_sample(2, s) for s in range(3)] == [
+            "t2.0",
+            "t2.1",
+            "t2.2",
+        ]
+
+    def test_sample_zero_is_adopt_only(self):
+        spans = SpanRecorder(sample=0)
+        assert spans.maybe_sample(0, 0) is None
+        # ...but explicit records (adopted traces) still land.
+        assert spans.record("t9.1", "recv", 0.5, src=1) == 0
+        assert len(spans) == 1
+
+    def test_seq_survives_ring_eviction(self):
+        spans = SpanRecorder(sample=1, capacity=2)
+        for index in range(5):
+            spans.record("t0.0", "seal", float(index))
+        assert spans.dropped == 3
+        assert [event["seq"] for event in spans.events()] == [3, 4]
+
+    def test_record_returns_parent_seq_and_keeps_fields(self):
+        spans = SpanRecorder()
+        seq = spans.record("t0.0", "seal", 1.0, slot=4, commands=2)
+        assert seq == 0
+        (event,) = spans.events()
+        assert event["slot"] == 4 and event["commands"] == 2
+        assert event["stage"] == "seal" and event["trace"] == "t0.0"
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(sample=-1)
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+        assert SpanRecorder().capacity == DEFAULT_SPAN_CAPACITY
+
+    def test_null_spans_records_nothing(self):
+        assert NULL_SPANS.enabled is False
+        assert NullSpans().maybe_sample(0, 0) is None
+        spans = NullSpans()
+        assert spans.record("t", "seal", 0.0) == -1
+        assert len(spans) == 0
+
+    def test_observability_snapshot_reports_span_counts(self):
+        obs = Observability(node=1, spans=SpanRecorder(sample=1))
+        obs.spans.record("t1.0", "seal", 0.0)
+        snapshot = obs.snapshot()
+        assert snapshot["span_events"] == 1
+        assert snapshot["span_dropped"] == 0
+        assert "span_events" not in Observability(node=1).snapshot()
+
+
+def _fast_trace():
+    """Origin node 0 seals slot 3 at t=1.0; fast decide at 1.2."""
+    node0 = [
+        {"seq": 0, "trace": "t0.3", "stage": "submit", "t": 0.6},
+        {"seq": 1, "trace": "t0.3", "stage": "seal", "t": 1.0, "slot": 3, "commands": 2},
+        {"seq": 2, "trace": "t0.3", "stage": "decide", "t": 1.2, "slot": 3, "path": "fast", "ballot": 0},
+        {"seq": 3, "trace": "t0.3", "stage": "apply", "t": 1.25, "slot": 3},
+        {"seq": 4, "trace": "t0.3", "stage": "reply", "t": 1.3},
+    ]
+    node1 = [
+        # Remote clock runs 10s ahead: must never enter a delta.
+        {"seq": 0, "trace": "t0.3", "stage": "recv", "t": 11.1, "src": 0},
+        {"seq": 1, "trace": "t0.3", "stage": "apply", "t": 11.3, "slot": 3},
+    ]
+    return node0, node1
+
+
+def _slow_trace():
+    node0 = [
+        {"seq": 5, "trace": "t0.7", "stage": "submit", "t": 2.0},
+        {"seq": 6, "trace": "t0.7", "stage": "seal", "t": 2.1, "slot": 7, "commands": 1},
+        {"seq": 7, "trace": "t0.7", "stage": "decide", "t": 2.9, "slot": 7, "path": "slow", "ballot": 1},
+        {"seq": 8, "trace": "t0.7", "stage": "apply", "t": 3.0, "slot": 7},
+        {"seq": 9, "trace": "t0.7", "stage": "reply", "t": 3.05},
+    ]
+    return node0
+
+
+class TestCriticalPath:
+    def test_merge_tags_nodes_and_sorts(self):
+        node0, node1 = _fast_trace()
+        traces = merge_span_events({0: node0, 1: node1})
+        assert set(traces) == {"t0.3"}
+        events = traces["t0.3"]
+        assert [e["node"] for e in events[:5]] == [0, 0, 0, 0, 0]
+        assert all("node" in e for e in events)
+        assert [e["t"] for e in events] == sorted(e["t"] for e in events)
+
+    def test_fast_path_stage_deltas_are_origin_local(self):
+        node0, node1 = _fast_trace()
+        path = critical_path(merge_span_events({0: node0, 1: node1})["t0.3"])
+        assert path["origin"] == 0 and path["slot"] == 3
+        assert path["path"] == "fast" and path["ballot"] == 0
+        assert path["commands"] == 2
+        assert path["remote_nodes"] == [1]
+        stages = path["stages"]
+        assert stages["queue"] == pytest.approx(0.4)
+        assert stages["consensus"] == pytest.approx(0.2)
+        assert stages["apply"] == pytest.approx(0.05)
+        assert stages["reply"] == pytest.approx(0.05)
+        # Total from origin events only — node 1's skewed clock ignored.
+        assert stages["total"] == pytest.approx(0.7)
+
+    def test_trace_without_seal_is_incomplete(self):
+        assert critical_path(
+            [{"seq": 0, "trace": "t", "stage": "submit", "t": 0.0, "node": 0}]
+        ) is None
+
+    def test_critical_paths_sorts_by_slot(self):
+        node0_fast, node1 = _fast_trace()
+        merged = merge_span_events({0: node0_fast + _slow_trace(), 1: node1})
+        paths = critical_paths(merged)
+        assert [p["slot"] for p in paths] == [3, 7]
+
+    def test_stage_breakdown_separates_fast_from_recovery(self):
+        node0_fast, node1 = _fast_trace()
+        merged = merge_span_events({0: node0_fast + _slow_trace(), 1: node1})
+        breakdown = stage_breakdown(critical_paths(merged))
+        assert breakdown["counts"] == {"fast": 1, "slow": 1}
+        fast = breakdown["paths"]["fast"]
+        slow = breakdown["paths"]["slow"]
+        assert fast["consensus"]["p50"] == pytest.approx(0.2)
+        assert slow["consensus"]["p50"] == pytest.approx(0.8)
+        # The recovery path pays its extra delay in consensus, not apply.
+        assert slow["consensus"]["mean"] > fast["consensus"]["mean"]
+        assert slow["apply"]["mean"] == pytest.approx(0.1)
+
+    def test_breakdown_of_nothing_is_empty(self):
+        assert stage_breakdown([]) == {"paths": {}, "counts": {}}
