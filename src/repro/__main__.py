@@ -11,6 +11,7 @@ Usage::
     python -m repro fuzz --workers 4     # adversarial schedule fuzzing
     python -m repro explore --workers 2  # exhaustive safety exploration
     python -m repro cluster --n 3        # boot a live KV cluster (asyncio TCP)
+    python -m repro cluster --groups 4   # sharded: 4 consensus groups
     python -m repro loadgen --peers ...  # drive a live cluster, report latency
     python -m repro stats --peers ...    # scrape + merge a cluster's metrics
     python -m repro top --peers ...      # live refreshing per-node dashboard
@@ -286,6 +287,60 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     )
     codec = make_codec(args.codec)
 
+    if args.groups > 1:
+        # Sharded in-process deployment: G groups × n replicas, group 0
+        # doubling as the placement-map catalog. Peers are announced in
+        # the `;`-separated per-group form the sharded loadgen/stats/top
+        # commands parse.
+        from .shard import ShardedCluster
+
+        if args.node is not None:
+            print("--node runs one single-group process; it cannot combine "
+                  "with --groups (boot each group separately instead)")
+            return 2
+
+        async def run_sharded() -> None:
+            cluster = ShardedCluster(
+                args.groups,
+                args.n,
+                factory,
+                codec=codec,
+                slots=args.slots,
+                data_dir=args.data_dir,
+                fsync=not args.no_fsync,
+                snapshot_every=args.snapshot_every,
+                trace=args.trace,
+            )
+            await cluster.start()
+            try:
+                by_group = cluster.addresses_by_group
+                peers = ";".join(
+                    ",".join(f"{host}:{port}" for host, port in by_group[g])
+                    for g in sorted(by_group)
+                )
+                print(
+                    f"sharded cluster up: groups={args.groups} "
+                    f"replicas/group={args.n} slots={args.slots} "
+                    f"f={args.f} e={args.e} codec={args.codec}"
+                )
+                print(f"peers: {peers}")
+                print(f"drive it with: python -m repro loadgen --peers '{peers}'")
+                print(f"inspect it with: python -m repro stats --peers '{peers}'")
+                sys.stdout.flush()
+                if args.duration is not None:
+                    await asyncio.sleep(args.duration)
+                else:
+                    while True:
+                        await asyncio.sleep(3600)
+            finally:
+                await cluster.stop()
+
+        try:
+            asyncio.run(run_sharded())
+        except KeyboardInterrupt:
+            pass
+        return 0
+
     if args.node is not None:
         # One real node of a multi-process deployment.
         if not args.peers:
@@ -366,12 +421,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .net.client import parse_address_list
     from .net.stats import describe_cluster_stats, scrape_cluster
 
-    addresses = parse_address_list(args.peers)
-    view = asyncio.run(
-        scrape_cluster(
-            addresses, include_trace=args.trace, timeout=args.timeout
+    if ";" in args.peers:
+        # `;`-separated per-group address lists: a sharded deployment.
+        from .net.stats import scrape_sharded_cluster
+        from .shard import parse_group_addresses
+
+        groups = parse_group_addresses(args.peers)
+        view = asyncio.run(
+            scrape_sharded_cluster(groups, timeout=args.timeout)
         )
-    )
+    else:
+        view = asyncio.run(
+            scrape_cluster(
+                parse_address_list(args.peers),
+                include_trace=args.trace,
+                timeout=args.timeout,
+            )
+        )
     if args.json:
         _emit_json(view)
     else:
@@ -404,6 +470,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0 if any(s is not None for s in view["nodes"].values()) else 1
 
 
+def _parse_key_skew(value: Optional[str]) -> Optional[float]:
+    """``zipf:<s>`` (or a bare exponent) → Zipf exponent, None = uniform."""
+    if value is None:
+        return None
+    text = value[len("zipf:"):] if value.startswith("zipf:") else value
+    try:
+        return float(text)
+    except ValueError:
+        raise SystemExit(f"--key-skew expects zipf:<exponent>, got {value!r}")
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import pathlib
@@ -413,23 +490,45 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .net.codec import make_codec
     from .net.loadgen import run_loadgen
 
-    addresses = parse_address_list(args.peers)
-    report = asyncio.run(
-        run_loadgen(
-            addresses,
-            clients=args.clients,
-            count=args.count,
-            put_fraction=args.put_fraction,
-            seed=args.seed,
-            timeout=args.timeout,
-            codec=make_codec(args.codec),
-            pipeline=args.pipeline,
-            pin_proxy=None if args.pin_proxy < 0 else args.pin_proxy,
-            collect_stats=args.stats,
-            collect_trace=args.trace,
-            trace_sample=args.trace_sample,
+    key_skew = _parse_key_skew(args.key_skew)
+    if ";" in args.peers:
+        # `;`-separated per-group address lists: route through shard-aware
+        # routers instead of single-cluster clients.
+        from .shard import parse_group_addresses, run_sharded_loadgen
+
+        report = asyncio.run(
+            run_sharded_loadgen(
+                parse_group_addresses(args.peers),
+                clients=args.clients,
+                count=args.count,
+                key_space=args.key_space,
+                put_fraction=args.put_fraction,
+                seed=args.seed,
+                timeout=args.timeout,
+                codec=make_codec(args.codec),
+                pipeline=max(1, args.pipeline),
+                key_skew=key_skew,
+                collect_stats=args.stats,
+            )
         )
-    )
+    else:
+        report = asyncio.run(
+            run_loadgen(
+                parse_address_list(args.peers),
+                clients=args.clients,
+                count=args.count,
+                put_fraction=args.put_fraction,
+                seed=args.seed,
+                timeout=args.timeout,
+                codec=make_codec(args.codec),
+                pipeline=args.pipeline,
+                pin_proxy=None if args.pin_proxy < 0 else args.pin_proxy,
+                collect_stats=args.stats,
+                collect_trace=args.trace,
+                trace_sample=args.trace_sample,
+                key_skew=key_skew,
+            )
+        )
     payload = {
         "loadgen": report.to_record(),
         "errors": report.errors[:10],
@@ -437,6 +536,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "clients": args.clients,
             "codec": args.codec,
             "count": args.count,
+            "key_skew": args.key_skew,
             "pipeline": args.pipeline,
             "pin_proxy": args.pin_proxy,
             "put_fraction": args.put_fraction,
@@ -490,7 +590,14 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from .net.codec import make_codec
     from .net.top import run_top
 
-    addresses = parse_address_list(args.peers)
+    if ";" in args.peers:
+        from .shard import parse_group_addresses
+
+        groups = parse_group_addresses(args.peers)
+        addresses = [address for nodes in groups.values() for address in nodes]
+    else:
+        groups = None
+        addresses = parse_address_list(args.peers)
     try:
         asyncio.run(
             run_top(
@@ -499,6 +606,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 iterations=args.iterations,
                 codec=make_codec(args.codec),
                 clear=not args.no_clear,
+                groups=groups,
             )
         )
     except KeyboardInterrupt:
@@ -628,6 +736,19 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster", help="boot a live KV cluster over asyncio TCP"
     )
     cluster.add_argument("--n", type=int, default=3, help="replicas (default 3)")
+    cluster.add_argument(
+        "--groups",
+        type=int,
+        default=1,
+        help="consensus groups; >1 boots a sharded deployment (--n replicas "
+        "per group, group 0 is the placement-map catalog; default 1)",
+    )
+    cluster.add_argument(
+        "--slots",
+        type=int,
+        default=64,
+        help="with --groups >1: hash slots in the placement map (default 64)",
+    )
     cluster.add_argument("--f", type=int, default=1, help="crash budget (default 1)")
     cluster.add_argument(
         "--e", type=int, default=1, help="fast-decision budget (default 1)"
@@ -730,7 +851,10 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="scrape a live cluster's metrics and merge them"
     )
     stats.add_argument(
-        "--peers", required=True, help="host:port,... of the cluster's nodes"
+        "--peers",
+        required=True,
+        help="host:port,... of the cluster's nodes; separate per-group "
+        "lists with ';' to scrape a sharded deployment",
     )
     stats.add_argument(
         "--trace",
@@ -748,12 +872,28 @@ def build_parser() -> argparse.ArgumentParser:
         "loadgen", help="drive a live cluster and report commit latency"
     )
     loadgen.add_argument(
-        "--peers", required=True, help="host:port,... of the cluster's nodes"
+        "--peers",
+        required=True,
+        help="host:port,... of the cluster's nodes; separate per-group "
+        "lists with ';' to drive a sharded deployment",
     )
     loadgen.add_argument(
         "--clients", type=int, default=4, help="concurrent closed-loop clients"
     )
     loadgen.add_argument("--count", type=int, default=100, help="total commands")
+    loadgen.add_argument(
+        "--key-skew",
+        default=None,
+        metavar="zipf:S",
+        help="Zipf(S) key popularity instead of uniform (e.g. zipf:0.99)",
+    )
+    loadgen.add_argument(
+        "--key-space",
+        type=int,
+        default=32,
+        help="distinct keys in the sharded workload's pool (default 32; "
+        "single-cluster runs keep their built-in key set)",
+    )
     loadgen.add_argument(
         "--put-fraction", type=float, default=0.7, help="fraction of puts"
     )
@@ -820,7 +960,10 @@ def build_parser() -> argparse.ArgumentParser:
         "top", help="live refreshing per-node throughput/latency dashboard"
     )
     top.add_argument(
-        "--peers", required=True, help="host:port,... of the cluster's nodes"
+        "--peers",
+        required=True,
+        help="host:port,... of the cluster's nodes; separate per-group "
+        "lists with ';' for a sharded deployment",
     )
     top.add_argument(
         "--interval", type=float, default=1.0, help="seconds between scrapes"

@@ -42,7 +42,7 @@ from .codec import (
     read_frame,
 )
 from .node import _READ_CHUNK, Address, enable_nodelay
-from .wire import ClientHello, ClientReply, ClientSubmit, HelloAck
+from .wire import ClientHello, ClientReply, ClientSubmit, HelloAck, WrongShard
 
 
 class ClientError(ReproError):
@@ -112,6 +112,10 @@ class KVClient:
         # of the failure. Avoided until the cooldown elapses so a crashed
         # node does not cost one timeout per designated command.
         self._dead: Dict[int, float] = {}
+        # WrongShard redirects collected by the last run_pipelined call,
+        # keyed by command_id. A sharded router drains these and re-routes
+        # the commands to the group the redirect named.
+        self.redirects: Dict[str, WrongShard] = {}
 
     # ------------------------------------------------------------------
     # Connection management.
@@ -196,6 +200,11 @@ class KVClient:
         that recently failed is skipped until its cooldown elapses.
         ``trace_id`` asks the proxy to span-trace this command end to
         end; it is only stamped when the proxy's handshake agreed.
+
+        Against a *sharded* node the returned frame may be a
+        :class:`~repro.net.wire.WrongShard` redirect instead of a reply —
+        callers in sharded deployments go through
+        :class:`repro.shard.ShardRouter`, which resolves redirects.
         """
         if proxy is not None:
             preferred = proxy % len(self.addresses)
@@ -242,7 +251,12 @@ class KVClient:
         assert self._reader is not None
         while True:
             message = await read_frame(self._reader, self.codec)
-            if isinstance(message, ClientReply) and message.command_id == command_id:
+            if (
+                isinstance(message, (ClientReply, WrongShard))
+                and message.command_id == command_id
+            ):
+                # A WrongShard redirect completes the wait too: the caller
+                # (a sharded router, or a test) decides where to go next.
                 return message
             # Replies to superseded attempts of other commands are dropped.
 
@@ -267,9 +281,15 @@ class KVClient:
         rounds a :class:`ClientError` reports how much is left.
         ``traces`` maps command ids to trace ids to stamp onto their
         submits (ignored when the proxy's handshake declined spans).
+
+        A ``WrongShard`` redirect also completes a command for *this*
+        run: the command leaves the pending window and lands in
+        :attr:`redirects` (cleared at the start of each run) for the
+        sharded router to re-route.
         """
         if window < 1:
             raise ClientError(f"pipeline window must be >= 1, got {window}")
+        self.redirects = {}
         pending: Dict[str, KVCommand] = {}
         for command in commands:
             if not command.command_id:
@@ -357,6 +377,11 @@ class KVClient:
             if not data:
                 raise asyncio.IncompleteReadError(b"", None)
             for message, _size in decoder.feed_sized(data):
+                if isinstance(message, WrongShard):
+                    if pending.pop(message.command_id, None) is not None:
+                        outstanding -= 1
+                        self.redirects[message.command_id] = message
+                    continue
                 if not isinstance(message, ClientReply):
                     continue
                 command = pending.pop(message.command_id, None)

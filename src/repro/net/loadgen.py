@@ -69,6 +69,12 @@ class LoadReport:
     cluster_traces: Optional[Dict[int, List[Any]]] = None
     trace_paths: Optional[List[Dict[str, Any]]] = None
     trace_breakdown: Optional[Dict[str, Any]] = None
+    # Sharded-run provenance (set by repro.shard.loadgen): the map epoch
+    # the run finished on, completed commands per group, and how many
+    # WrongShard redirects the routers followed along the way.
+    placement_epoch: Optional[int] = None
+    group_commands: Optional[Dict[int, int]] = None
+    redirects: int = 0
 
     @property
     def throughput(self) -> float:
@@ -116,6 +122,13 @@ class LoadReport:
         # error strings ride along so a --record artifact of a degraded
         # run explains itself.
         record["errors_sample"] = list(self.errors[:5])
+        if self.placement_epoch is not None:
+            record["placement_epoch"] = self.placement_epoch
+            record["group_commands"] = {
+                str(group): count
+                for group, count in sorted((self.group_commands or {}).items())
+            }
+            record["redirects"] = self.redirects
         if self.cluster_stats is not None:
             counters = self.cluster_stats["merged"]["counters"]
             record["fast_path_ratio"] = self.cluster_stats["fast_path_ratio"]
@@ -125,6 +138,13 @@ class LoadReport:
                 "consensus.decisions_learned", 0
             )
             record["gap_repair_noops"] = counters.get("smr.gap_repair_noops", 0)
+            if "per_group_fast_path_ratio" in self.cluster_stats:
+                record["per_group_fast_path_ratio"] = {
+                    str(group): ratio
+                    for group, ratio in sorted(
+                        self.cluster_stats["per_group_fast_path_ratio"].items()
+                    )
+                }
             record["cluster_stats"] = self.cluster_stats
         if self.trace_paths is not None:
             record["traced_commands"] = len(self.trace_paths)
@@ -149,6 +169,7 @@ async def run_loadgen(
     collect_stats: bool = False,
     collect_trace: bool = False,
     trace_sample: int = 0,
+    key_skew: Optional[float] = None,
 ) -> LoadReport:
     """Drive *count* commands through the cluster at *addresses*.
 
@@ -188,6 +209,7 @@ async def run_loadgen(
             proxies=list(range(len(addresses))),
             put_fraction=put_fraction,
             seed=seed,
+            key_skew=key_skew,
         )
     shares: List[List[ClientOp]] = [list(ops[i::clients]) for i in range(clients)]
     trace_ids: Dict[str, str] = {}

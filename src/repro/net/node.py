@@ -64,6 +64,7 @@ from ..storage.recovery import (
     NodeStorage,
     ReplicaPersister,
     fetch_snapshot,
+    range_state_chunks,
     snapshot_chunks,
 )
 from .codec import (
@@ -82,6 +83,7 @@ from .wire import (
     ClientSubmit,
     HelloAck,
     NodeHello,
+    RangeSnapshotRequest,
     SnapshotChunk,
     SnapshotRequest,
     StatsReply,
@@ -939,6 +941,9 @@ class NodeServer:
                     elif isinstance(request, SnapshotRequest):
                         for chunk in self._snapshot_reply(request):
                             replies.put_nowait(chunk)
+                    elif isinstance(request, RangeSnapshotRequest):
+                        for chunk in self._range_snapshot_reply(request):
+                            replies.put_nowait(chunk)
                     elif (
                         isinstance(request, ClientSubmit)
                         and self.client_service is not None
@@ -1067,6 +1072,32 @@ class NodeServer:
             ]
         chunks = snapshot_chunks(self.codec, self.process, request.request_id)
         self.obs.registry.inc("storage.snapshots_served")
+        return chunks
+
+    def _range_snapshot_reply(
+        self, request: RangeSnapshotRequest
+    ) -> List[SnapshotChunk]:
+        """Serve a hash-slot range extraction for a rebalance.
+
+        Same chunk stream as full state transfer; the payload is a range
+        document. Only meaningful once the range is fenced at this group
+        — the fence makes the extracted state final.
+        """
+        if not isinstance(self.process, SMRReplica):
+            return [
+                SnapshotChunk(
+                    request_id=request.request_id, seq=0, last=True, upto=-1, payload=""
+                )
+            ]
+        chunks = range_state_chunks(
+            self.codec,
+            self.process,
+            request.request_id,
+            request.lo,
+            request.hi,
+            request.slots,
+        )
+        self.obs.registry.inc("storage.range_snapshots_served")
         return chunks
 
     # ------------------------------------------------------------------

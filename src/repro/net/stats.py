@@ -15,7 +15,7 @@ CI job does exactly that while one node is down).
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs import merge_decision_records, merge_snapshots
 from .codec import WIRE_VERSION_JSON, CodecError, MessageCodec, read_frame
@@ -74,6 +74,7 @@ async def scrape_cluster(
     include_trace: bool = False,
     include_spans: bool = False,
     timeout: float = 5.0,
+    group: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Merge every reachable node's snapshot into one cluster view.
 
@@ -83,6 +84,10 @@ async def scrape_cluster(
     returned events, and ``"spans": {pid: [...]}`` likewise under
     *include_spans*). Node keys come from each reply's own ``pid``;
     unreachable entries fall back to the address-book index.
+
+    ``group`` tags every node key as ``"g<group>:n<pid>"`` instead of the
+    bare pid — in a sharded deployment every group numbers its replicas
+    0..R-1, so bare pids from different groups would collide in one view.
     """
     shared = codec if codec is not None else MessageCodec()
 
@@ -103,20 +108,24 @@ async def scrape_cluster(
     results = await asyncio.gather(
         *(one(index, address) for index, address in enumerate(addresses))
     )
-    nodes: Dict[int, Optional[Dict[str, Any]]] = {}
-    traces: Dict[int, List[Any]] = {}
-    spans: Dict[int, List[Any]] = {}
-    unreachable: List[int] = []
+
+    def label(pid: int) -> Any:
+        return pid if group is None else f"g{group}:n{pid}"
+
+    nodes: Dict[Any, Optional[Dict[str, Any]]] = {}
+    traces: Dict[Any, List[Any]] = {}
+    spans: Dict[Any, List[Any]] = {}
+    unreachable: List[Any] = []
     for pid, reply in results:
         if reply is None:
-            nodes[pid] = None
-            unreachable.append(pid)
+            nodes[label(pid)] = None
+            unreachable.append(label(pid))
             continue
-        nodes[pid] = reply.snapshot
+        nodes[label(pid)] = reply.snapshot
         if reply.trace:
-            traces[pid] = list(reply.trace)
+            traces[label(pid)] = list(reply.trace)
         if reply.spans:
-            spans[pid] = [dict(event) for event in reply.spans]
+            spans[label(pid)] = [dict(event) for event in reply.spans]
     merged = merge_snapshots(snapshot for snapshot in nodes.values())
     decisions = merge_decision_records(
         {
@@ -139,8 +148,76 @@ async def scrape_cluster(
     return view
 
 
+async def scrape_sharded_cluster(
+    groups: Mapping[int, Sequence[Address]],
+    codec: Optional[MessageCodec] = None,
+    timeout: float = 5.0,
+) -> Dict[str, Any]:
+    """Merge every group's scrape into one sharded-deployment view.
+
+    Each group is scraped with its ``g<group>:n<pid>`` tag, so per-node
+    rows never collide across groups. Runtime metrics (counters, gauges,
+    histograms) merge cluster-wide; **decision records do not** — slot
+    numbers are per-group consensus instances, so cross-group slot
+    merging would fabricate conflicts. Instead each group's decisions
+    merge within the group, and the view carries:
+
+    * ``per_group`` — each group's full :func:`scrape_cluster` view,
+    * ``per_group_fast_path_ratio`` — the Theorem 5/6 empirical check
+      per group (sharding must not change any group's intra-group
+      quorum behavior),
+    * ``fast_path_ratio`` — cluster-wide, from the merged counters,
+    * ``unreachable`` — tagged node ids, and ``unreachable_groups`` —
+      groups where *every* node was unreachable (a down group, a
+      different failure class than a down replica),
+    * ``conflicts`` — the union of per-group conflict lists, tagged.
+    """
+    shared = codec if codec is not None else MessageCodec()
+    ordered = sorted(groups.items())
+    views = await asyncio.gather(
+        *(
+            scrape_cluster(addresses, codec=shared, timeout=timeout, group=group)
+            for group, addresses in ordered
+        )
+    )
+    per_group: Dict[int, Dict[str, Any]] = {}
+    nodes: Dict[Any, Optional[Dict[str, Any]]] = {}
+    unreachable: List[Any] = []
+    unreachable_groups: List[int] = []
+    conflicts: List[str] = []
+    for (group, _addresses), view in zip(ordered, views):
+        per_group[group] = view
+        nodes.update(view["nodes"])
+        unreachable.extend(view["unreachable"])
+        if view["nodes"] and all(
+            snapshot is None for snapshot in view["nodes"].values()
+        ):
+            unreachable_groups.append(group)
+        conflicts.extend(
+            f"group {group}: {conflict}"
+            for conflict in view["decisions"]["conflicts"]
+        )
+    merged = merge_snapshots(snapshot for snapshot in nodes.values())
+    counters = merged["counters"]
+    fast = counters.get("consensus.decisions_fast", 0)
+    slow = counters.get("consensus.decisions_slow", 0)
+    return {
+        "nodes": nodes,
+        "merged": merged,
+        "per_group": per_group,
+        "per_group_fast_path_ratio": {
+            group: view["fast_path_ratio"] for group, view in per_group.items()
+        },
+        "fast_path_ratio": (fast / (fast + slow)) if (fast + slow) else None,
+        "conflicts": conflicts,
+        "unreachable": sorted(unreachable),
+        "unreachable_groups": unreachable_groups,
+    }
+
+
 def describe_cluster_stats(view: Dict[str, Any]) -> str:
-    """One-paragraph human summary of a :func:`scrape_cluster` view."""
+    """One-paragraph human summary of a :func:`scrape_cluster` or
+    :func:`scrape_sharded_cluster` view."""
     counters = view["merged"]["counters"]
     fast = counters.get("consensus.decisions_fast", 0)
     slow = counters.get("consensus.decisions_slow", 0)
@@ -150,10 +227,24 @@ def describe_cluster_stats(view: Dict[str, Any]) -> str:
         f"decisions: {fast} fast / {slow} slow / {learned} learned",
         "fast-path ratio: "
         + (f"{ratio:.3f}" if ratio is not None else "n/a (nothing decided)"),
-        f"slots merged: {len(view['decisions']['slots'])}",
     ]
-    if view["decisions"]["conflicts"]:
-        parts.append(f"CONFLICTS: {view['decisions']['conflicts']}")
+    if "decisions" in view:
+        parts.append(f"slots merged: {len(view['decisions']['slots'])}")
+    per_group = view.get("per_group_fast_path_ratio")
+    if per_group:
+        parts.append(
+            "per-group fast-path: "
+            + " ".join(
+                f"g{group}="
+                + (f"{group_ratio:.3f}" if group_ratio is not None else "n/a")
+                for group, group_ratio in sorted(per_group.items())
+            )
+        )
+    conflicts = view.get("conflicts") or view.get("decisions", {}).get("conflicts")
+    if conflicts:
+        parts.append(f"CONFLICTS: {conflicts}")
+    if view.get("unreachable_groups"):
+        parts.append(f"UNREACHABLE GROUPS: {view['unreachable_groups']}")
     if view["unreachable"]:
         parts.append(f"unreachable nodes: {view['unreachable']}")
     if any(name.startswith("storage.") for name in counters):
@@ -172,13 +263,16 @@ def describe_cluster_stats(view: Dict[str, Any]) -> str:
     if sent:
         parts.append(f"bytes sent: {sent:,}")
     wires = []
-    for pid in sorted(pid for pid, snap in view["nodes"].items() if snap is not None):
+    for pid in sorted(
+        (pid for pid, snap in view["nodes"].items() if snap is not None), key=str
+    ):
         wire = view["nodes"][pid].get("wire")
         if not wire:
             continue
         registry_hash = wire.get("registry_hash", "")
+        label = pid if isinstance(pid, str) else f"n{pid}"
         wires.append(
-            f"n{pid}={wire.get('codec', '?')}"
+            f"{label}={wire.get('codec', '?')}"
             f"@{registry_hash[:8] if registry_hash else '?'}"
         )
     if wires:

@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence
 from ..obs.export import _histogram_percentile
 from .codec import MessageCodec
 from .node import Address
-from .stats import scrape_cluster
+from .stats import scrape_cluster, scrape_sharded_cluster
 
 __all__ = ["render_top", "run_top"]
 
@@ -74,10 +74,13 @@ def render_top(
     prev_nodes: Mapping[Any, Any] = (prev or {}).get("nodes", {})
     total_rate = 0.0
     saw_rate = False
-    for pid in sorted(nodes):
+    for pid in sorted(nodes, key=str):
+        # Sharded scrapes key nodes as "g<group>:n<pid>" strings; plain
+        # cluster scrapes use bare int pids. Both render as one row.
+        label = pid if isinstance(pid, str) else f"n{pid}"
         snapshot = nodes[pid]
         if snapshot is None:
-            lines.append(f"n{pid:<4}  [unreachable]")
+            lines.append(f"{label:<5}  [unreachable]")
             continue
         rate = _node_rate(snapshot, prev_nodes.get(pid), dt)
         if rate is not None:
@@ -93,7 +96,7 @@ def render_top(
             default=0,
         )
         lines.append(
-            f"n{pid:<4} "
+            f"{label:<5} "
             + (f"{rate:8.1f}" if rate is not None else "       -")
             + (f"  {ratio * 100:5.1f}%" if ratio is not None else "       -")
             + f"   {_ms(_pct(snapshot, 'stage.queue_seconds', 0.5))}/"
@@ -121,6 +124,9 @@ def render_top(
     unreachable = view.get("unreachable") or []
     if unreachable:
         lines.append(f"unreachable: {unreachable}")
+    unreachable_groups = view.get("unreachable_groups") or []
+    if unreachable_groups:
+        lines.append(f"UNREACHABLE GROUPS: {unreachable_groups}")
     return "\n".join(lines)
 
 
@@ -131,16 +137,22 @@ async def run_top(
     codec: Optional[MessageCodec] = None,
     out: Callable[[str], None] = print,
     clear: bool = True,
+    groups: Optional[Mapping[int, Sequence[Address]]] = None,
 ) -> None:
     """Scrape-and-render loop. ``iterations=None`` runs until cancelled;
-    tests pass a small count and a collector *out*."""
+    tests pass a small count and a collector *out*. Pass ``groups``
+    (group id -> addresses) for a sharded deployment: rows become
+    ``g<group>:n<pid>`` and whole-group outages are flagged."""
     shared = codec if codec is not None else MessageCodec()
     loop = asyncio.get_running_loop()
     prev: Optional[Dict[str, Any]] = None
     prev_t: Optional[float] = None
     count = 0
     while iterations is None or count < iterations:
-        view = await scrape_cluster(addresses, codec=shared)
+        if groups is not None:
+            view = await scrape_sharded_cluster(groups, codec=shared)
+        else:
+            view = await scrape_cluster(addresses, codec=shared)
         now = loop.time()
         dt = (now - prev_t) if prev_t is not None else None
         frame = render_top(view, prev=prev, dt=dt)

@@ -148,6 +148,49 @@ class ClientReply(Message):
 
 
 @dataclass(frozen=True)
+class WrongShard(Message):
+    """Redirect: this node's group does not own the command's key.
+
+    Sent on a client link instead of a :class:`ClientReply` when shard
+    routing (at submit time) or the replicated epoch fence (at apply
+    time) refuses a command. ``group`` is the group the server believes
+    owns the key, ``epoch`` the server's effective map epoch, and
+    ``placement`` the server's effective map as a
+    :meth:`~repro.shard.placement.PlacementMap.to_payload` dict — the
+    client installs it when newer and re-submits to the right group. The
+    command was **not** applied here (not logged, not marked applied),
+    so re-submission elsewhere cannot double-apply.
+    """
+
+    request_id: str
+    command_id: str
+    group: int
+    epoch: int
+    placement: Any = None
+
+
+@dataclass(frozen=True)
+class RangeSnapshotRequest(Message):
+    """Ask a node for the state of hash-slot range ``[lo, hi)``.
+
+    The range-transfer leg of a rebalance: answered with the same
+    :class:`SnapshotChunk` stream full state transfer uses, but the
+    payload is a *range* document (keys whose slot falls in the range,
+    plus the applied ids of every logged command that touched them —
+    carrying the ids is what turns a post-move client retry into a
+    ``duplicate`` instead of a second application). Only meaningful
+    after the range was fenced: the fence makes the range's state final
+    at the serving group, so any time after the fence applies yields the
+    same document.
+    """
+
+    request_id: str
+    lo: int
+    hi: int
+    slots: int
+
+
+@dataclass(frozen=True)
 class SnapshotRequest(Message):
     """Ask a node for its live replica state (sent on a client link).
 

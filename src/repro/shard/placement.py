@@ -1,0 +1,191 @@
+"""The placement map: an epoch-versioned hash-slot → group assignment.
+
+Keys hash onto a fixed ring of ``slots`` hash slots (CRC32, stable
+across processes — see :func:`repro.smr.kvstore.key_slot`); the map
+assigns contiguous slot ranges ``[lo, hi)`` to consensus groups. Every
+change produces a *new* map with ``epoch + 1`` — epochs are the fencing
+currency: a server holding epoch *E* state refuses commands for ranges
+it gave away at *E*, and a client holding an older map learns the newer
+epoch from the ``WrongShard`` redirect and re-resolves.
+
+Maps travel as plain JSON-safe payloads (:meth:`PlacementMap.to_payload`)
+so they ride the existing wire codec inside any frame or ``KVCommand``
+value — including the catalog group's replicated log — without adding a
+nested-message encoding case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..smr.kvstore import key_slot
+
+#: Default number of hash slots. Small enough that a map is a handful of
+#: ranges, large enough that ranges can move in fine steps.
+DEFAULT_SLOTS = 64
+
+
+@dataclass(frozen=True)
+class RangeAssignment:
+    """Slots ``[lo, hi)`` are served by consensus group ``group``."""
+
+    lo: int
+    hi: int
+    group: int
+
+    def covers(self, slot: int) -> bool:
+        return self.lo <= slot < self.hi
+
+
+@dataclass(frozen=True)
+class PlacementMap:
+    """One immutable, epoch-numbered keyspace partition."""
+
+    epoch: int
+    slots: int
+    ranges: Tuple[RangeAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ConfigurationError(f"need at least one slot, got {self.slots}")
+        cursor = 0
+        for assignment in self.ranges:
+            if assignment.lo != cursor or assignment.hi <= assignment.lo:
+                raise ConfigurationError(
+                    f"placement ranges must tile [0, {self.slots}) in order; "
+                    f"got [{assignment.lo}, {assignment.hi}) at slot {cursor}"
+                )
+            cursor = assignment.hi
+        if cursor != self.slots:
+            raise ConfigurationError(
+                f"placement ranges cover [0, {cursor}), expected [0, {self.slots})"
+            )
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+
+    def group_for_slot(self, slot: int) -> int:
+        for assignment in self.ranges:
+            if assignment.covers(slot):
+                return assignment.group
+        raise ConfigurationError(f"slot {slot} outside [0, {self.slots})")
+
+    def group_for_key(self, key: str) -> int:
+        return self.group_for_slot(key_slot(key, self.slots))
+
+    def groups(self) -> List[int]:
+        return sorted({assignment.group for assignment in self.ranges})
+
+    # ------------------------------------------------------------------
+    # Construction and change.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def initial(cls, groups: int, slots: int = DEFAULT_SLOTS) -> "PlacementMap":
+        """Even split of the slot ring over *groups* groups, epoch 0."""
+        if groups < 1:
+            raise ConfigurationError(f"need at least one group, got {groups}")
+        if slots < groups:
+            raise ConfigurationError(
+                f"need at least one slot per group ({groups}), got {slots}"
+            )
+        bounds = [round(index * slots / groups) for index in range(groups + 1)]
+        ranges = tuple(
+            RangeAssignment(lo=bounds[g], hi=bounds[g + 1], group=g)
+            for g in range(groups)
+        )
+        return cls(epoch=0, slots=slots, ranges=ranges)
+
+    def move(self, lo: int, hi: int, dest: int) -> "PlacementMap":
+        """Reassign slots ``[lo, hi)`` to *dest*; returns epoch + 1.
+
+        Splits overlapping assignments as needed, then merges adjacent
+        ranges owned by the same group so maps stay canonical (two maps
+        with identical ownership compare equal range-for-range).
+        """
+        if not (0 <= lo < hi <= self.slots):
+            raise ConfigurationError(
+                f"bad range [{lo}, {hi}) for a {self.slots}-slot map"
+            )
+        pieces: List[RangeAssignment] = []
+        for assignment in self.ranges:
+            for piece_lo, piece_hi in (
+                (assignment.lo, min(assignment.hi, lo)),
+                (max(assignment.lo, lo), min(assignment.hi, hi)),
+                (max(assignment.lo, hi), assignment.hi),
+            ):
+                if piece_lo >= piece_hi:
+                    continue
+                group = dest if lo <= piece_lo < hi else assignment.group
+                pieces.append(RangeAssignment(piece_lo, piece_hi, group))
+        merged: List[RangeAssignment] = []
+        for piece in pieces:
+            if merged and merged[-1].group == piece.group:
+                merged[-1] = RangeAssignment(merged[-1].lo, piece.hi, piece.group)
+            else:
+                merged.append(piece)
+        return PlacementMap(
+            epoch=self.epoch + 1, slots=self.slots, ranges=tuple(merged)
+        )
+
+    # ------------------------------------------------------------------
+    # Wire/catalog representation (JSON-safe in both codec formats).
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "slots": self.slots,
+            "ranges": [[a.lo, a.hi, a.group] for a in self.ranges],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "PlacementMap":
+        return cls(
+            epoch=int(payload["epoch"]),
+            slots=int(payload["slots"]),
+            ranges=tuple(
+                RangeAssignment(int(lo), int(hi), int(group))
+                for lo, hi, group in payload["ranges"]
+            ),
+        )
+
+
+def apply_overrides(
+    base: PlacementMap,
+    entries: Sequence[Tuple[str, Dict[str, Any]]],
+    local_group: int,
+) -> PlacementMap:
+    """Fold a store's shard-meta entries over *base*.
+
+    *entries* is :meth:`repro.smr.kvstore.KVStore.shard_entries` output
+    (epoch-ascending). A fence reassigns its range to the fence's
+    ``dest``; an owned entry (a range installed here) reassigns it to
+    *local_group*. Folding in epoch order makes the latest entry win, so
+    a group that handed a range away and later received it back resolves
+    correctly. The result carries the highest epoch seen, so a redirect
+    built from it always teaches a stale client something.
+    """
+    result = base
+    epoch = base.epoch
+    for kind, info in entries:
+        epoch = max(epoch, int(info["epoch"]))
+        if info.get("slots") != base.slots:
+            continue
+        dest = int(info["dest"]) if kind == "fence" else local_group
+        moved = result.move(int(info["lo"]), int(info["hi"]), dest)
+        result = PlacementMap(epoch=result.epoch, slots=moved.slots, ranges=moved.ranges)
+    if epoch != result.epoch:
+        result = PlacementMap(epoch=epoch, slots=result.slots, ranges=result.ranges)
+    return result
+
+
+__all__ = [
+    "DEFAULT_SLOTS",
+    "PlacementMap",
+    "RangeAssignment",
+    "apply_overrides",
+]

@@ -1,0 +1,242 @@
+"""Shard-aware request routing: per-group clients, redirect retry.
+
+:class:`ShardRouter` is the client-side half of the sharding contract.
+It holds one lazily-dialed :class:`~repro.net.client.KVClient` per
+consensus group and a current :class:`~repro.shard.placement.PlacementMap`;
+every data command resolves to a group through the map, and a
+:class:`~repro.net.wire.WrongShard` redirect teaches the router two
+things at once — where *this* command should go (``redirect.group``) and,
+when the carried map is newer, where every *future* command should go
+(the map is installed wholesale).
+
+During a live rebalance a command can briefly bounce: the source group
+fenced the range but the destination has not applied its install yet, so
+the destination redirects straight back. The bounded redirect budget
+plus a small inter-round backoff rides that window out — once the
+install commits, the destination accepts and the command completes
+exactly once (idempotence-by-id makes the intermediate re-submissions
+free).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..net.client import ClientError, KVClient, PipelineError
+from ..net.codec import MessageCodec
+from ..net.node import Address
+from ..net.wire import ClientReply, WrongShard
+from ..smr.kvstore import KVCommand
+from .placement import PlacementMap
+
+
+class ShardRouter:
+    """Route commands across the groups of a sharded deployment."""
+
+    def __init__(
+        self,
+        groups: Dict[int, Sequence[Address]],
+        placement: PlacementMap,
+        codec: Optional[MessageCodec] = None,
+        client_id: str = "router",
+        timeout: float = 5.0,
+        max_attempts: int = 8,
+        max_redirects: int = 16,
+        redirect_backoff: float = 0.05,
+    ) -> None:
+        if not groups:
+            raise ClientError("router needs at least one group")
+        self.groups = {group: list(addresses) for group, addresses in groups.items()}
+        self.placement = placement
+        self.codec = codec if codec is not None else MessageCodec()
+        self.client_id = client_id
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.max_redirects = max_redirects
+        self.redirect_backoff = redirect_backoff
+        self._clients: Dict[int, KVClient] = {}
+        #: total WrongShard redirects observed (all commands, all rounds)
+        self.redirect_count = 0
+        #: completed commands per group, for the loadgen record
+        self.group_commands: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Group connections.
+    # ------------------------------------------------------------------
+
+    def client_for(self, group: int) -> KVClient:
+        if group not in self.groups:
+            raise ClientError(f"no addresses for group {group}")
+        if group not in self._clients:
+            self._clients[group] = KVClient(
+                self.groups[group],
+                client_id=f"{self.client_id}-g{group}",
+                codec=self.codec,
+                timeout=self.timeout,
+                max_attempts=self.max_attempts,
+            )
+        return self._clients[group]
+
+    async def close(self) -> None:
+        for client in self._clients.values():
+            await client.close()
+
+    # ------------------------------------------------------------------
+    # Placement resolution.
+    # ------------------------------------------------------------------
+
+    def group_for(self, command: KVCommand) -> int:
+        """The group *command* routes to under the current map.
+
+        Control-plane commands (``config``, ``noop``, reserved ``__``
+        keys) have no home range — callers address those to an explicit
+        group via the ``group=`` parameter.
+        """
+        if (
+            command.op not in ("get", "put", "cas")
+            or not command.key
+            or command.key.startswith("__")
+        ):
+            raise ClientError(
+                f"command {command.command_id!r} is control-plane; "
+                f"pass an explicit group"
+            )
+        return self.placement.group_for_key(command.key)
+
+    def _observe_redirect(self, redirect: WrongShard) -> None:
+        self.redirect_count += 1
+        if redirect.placement and redirect.epoch > self.placement.epoch:
+            self.placement = PlacementMap.from_payload(redirect.placement)
+
+    # ------------------------------------------------------------------
+    # Closed-loop submission.
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self,
+        command: KVCommand,
+        group: Optional[int] = None,
+        trace_id: Optional[str] = None,
+    ) -> ClientReply:
+        """Submit one command, following redirects until it lands."""
+        target = group if group is not None else self.group_for(command)
+        for bounce in range(self.max_redirects + 1):
+            reply = await self.client_for(target).submit(command, trace_id=trace_id)
+            if isinstance(reply, WrongShard):
+                self._observe_redirect(reply)
+                if group is None:
+                    target = (
+                        reply.group
+                        if reply.group in self.groups
+                        else self.placement.group_for_key(command.key)
+                    )
+                await asyncio.sleep(
+                    min(self.redirect_backoff * (bounce + 1), 0.5)
+                )
+                continue
+            self.group_commands[target] = self.group_commands.get(target, 0) + 1
+            return reply
+        raise ClientError(
+            f"command {command.command_id!r} still redirected after "
+            f"{self.max_redirects} hops (map epoch {self.placement.epoch})"
+        )
+
+    # ------------------------------------------------------------------
+    # Open-loop (pipelined) submission.
+    # ------------------------------------------------------------------
+
+    async def run_pipelined(
+        self,
+        commands: Sequence[KVCommand],
+        window: int = 16,
+        on_reply: Optional[Callable[[ClientReply, float], None]] = None,
+        traces: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, ClientReply]:
+        """Drive *commands* pipelined across all groups concurrently.
+
+        Commands are partitioned by the current map, each partition runs
+        through its group's client with up to *window* outstanding, and
+        redirected commands re-partition for the next round (with any
+        newer map from the redirects installed first). Returns replies
+        keyed by ``command_id``; raises :class:`PipelineError` if work
+        remains after the redirect budget.
+        """
+        remaining: Dict[str, KVCommand] = {}
+        for command in commands:
+            if not command.command_id:
+                raise ClientError("pipelined commands need a unique command_id")
+            remaining[command.command_id] = command
+        replies: Dict[str, ClientReply] = {}
+        overrides: Dict[str, int] = {}  # command_id -> group a redirect named
+        last_error: Optional[BaseException] = None
+        for round_index in range(self.max_redirects + 1):
+            if not remaining:
+                return replies
+            if round_index:
+                await asyncio.sleep(
+                    min(self.redirect_backoff * round_index, 0.5)
+                )
+            buckets: Dict[int, List[KVCommand]] = {}
+            for command_id, command in remaining.items():
+                target = overrides.get(
+                    command_id, self.placement.group_for_key(command.key)
+                )
+                if target not in self.groups:
+                    target = self.placement.group_for_key(command.key)
+                buckets.setdefault(target, []).append(command)
+            ordered = sorted(buckets.items())
+            outcomes = await asyncio.gather(
+                *(
+                    self.client_for(group).run_pipelined(
+                        batch, window=window, on_reply=on_reply, traces=traces
+                    )
+                    for group, batch in ordered
+                ),
+                return_exceptions=True,
+            )
+            overrides = {}
+            for (group, _batch), outcome in zip(ordered, outcomes):
+                if isinstance(outcome, PipelineError):
+                    last_error = outcome
+                    done: Dict[str, ClientReply] = outcome.replies
+                elif isinstance(outcome, BaseException):
+                    raise outcome
+                else:
+                    done = outcome
+                for command_id, reply in done.items():
+                    if remaining.pop(command_id, None) is not None:
+                        replies[command_id] = reply
+                        self.group_commands[group] = (
+                            self.group_commands.get(group, 0) + 1
+                        )
+                for command_id, redirect in self._clients[group].redirects.items():
+                    self._observe_redirect(redirect)
+                    if redirect.group in self.groups:
+                        overrides[command_id] = redirect.group
+        raise PipelineError(
+            f"{len(remaining)} of {len(remaining) + len(replies)} sharded "
+            f"commands incomplete after {self.max_redirects} redirect rounds: "
+            f"{last_error!r}",
+            replies=replies,
+            pending=sorted(remaining),
+        )
+
+
+def parse_group_addresses(text: str) -> Dict[int, List[Address]]:
+    """Parse the CLI's sharded peers format.
+
+    ``host:port,host:port;host:port,...`` — groups separated by ``;`` in
+    group-id order (group 0 first), nodes within a group by ``,``.
+    """
+    from ..net.client import parse_address_list
+
+    groups: Dict[int, List[Address]] = {}
+    for index, chunk in enumerate(part for part in text.split(";") if part.strip()):
+        groups[index] = parse_address_list(chunk)
+    if not groups:
+        raise ClientError(f"no group addresses in {text!r}")
+    return groups
+
+
+__all__ = ["ShardRouter", "parse_group_addresses"]

@@ -10,6 +10,7 @@ paper's definition is about.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -49,6 +50,13 @@ class WorkloadOutcome:
         return list(self.simulation.processes)  # type: ignore[return-value]
 
 
+def zipf_weights(count: int, exponent: float) -> List[float]:
+    """Zipf(s) popularity weights for *count* ranked items (rank 1 first)."""
+    if exponent < 0:
+        raise ConfigurationError(f"zipf exponent must be >= 0, got {exponent}")
+    return [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+
+
 def put_get_workload(
     count: int,
     keys: Sequence[str],
@@ -57,20 +65,33 @@ def put_get_workload(
     start: float = 0.0,
     put_fraction: float = 0.7,
     seed: int = 0,
+    key_skew: Optional[float] = None,
 ) -> List[ClientOp]:
     """A mixed put/get workload spread over proxies and time.
 
     Commands are spaced ``spacing`` apart by default so each normally
     commits on the fast path before the next arrives; pass ``spacing=0``
     to force slot races.
+
+    ``key_skew`` switches key popularity from uniform to Zipf with that
+    exponent (``0`` degenerates to uniform): the first key in *keys* is
+    the hottest. Skewed workloads are what make shard placement
+    interesting — a hash map balances *keys*, not *traffic*.
     """
     if not keys or not proxies:
         raise ConfigurationError("need at least one key and one proxy")
     rng = random.Random(seed)
     key_pool = list(keys)  # materialized once, not per command
+    cum_weights: Optional[List[float]] = None
+    if key_skew is not None:
+        weights = zipf_weights(len(key_pool), key_skew)
+        cum_weights = list(itertools.accumulate(weights))
     ops = []
     for index in range(count):
-        key = rng.choice(key_pool)
+        if cum_weights is not None:
+            key = rng.choices(key_pool, cum_weights=cum_weights, k=1)[0]
+        else:
+            key = rng.choice(key_pool)
         proxy = proxies[index % len(proxies)]
         if rng.random() < put_fraction:
             command = KVCommand(

@@ -9,13 +9,44 @@ layer suppresses duplicate application when a command wins several slots
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Reserved key prefix for replicated shard metadata (placement fences and
+#: installed ranges). Keys under this prefix — and the catalog's
+#: ``__placement__`` key — are *control-plane* state: they live in the
+#: store like any other key (so snapshots, WAL replay, and state transfer
+#: carry them for free) but are never subject to shard routing.
+SHARD_META_PREFIX = "__shard__/"
+
+#: Marker result for a data command that hit an epoch fence at apply
+#: time: the key's range was handed to another group by a ``config``
+#: command earlier in this log, so the command must NOT execute here.
+#: The serving layer turns this into a ``WrongShard`` redirect.
+WRONG_SHARD = "__wrong_shard__"
+
+
+def key_slot(key: str, slots: int) -> int:
+    """Deterministic key → hash-slot mapping for placement.
+
+    CRC32 rather than ``hash()``: per-process seed randomization would
+    make replicas disagree about placement, which is a safety bug.
+    """
+    return zlib.crc32(key.encode("utf-8")) % slots
 
 
 @dataclass(frozen=True)
 class KVCommand:
-    """One key-value operation: ``get``, ``put``, or ``cas``."""
+    """One key-value operation: ``get``, ``put``, ``cas`` — or ``config``.
+
+    ``config`` commands are the shard-management vocabulary: their
+    ``value`` is a JSON-safe payload (``{"kind": "shard_prepare" |
+    "shard_install" | "shard_release", ...}``) applied by
+    :meth:`KVStore.apply` like any other deterministic operation, so
+    fences and range installs are replicated, recover from the WAL, and
+    ride snapshots without any side channel.
+    """
 
     op: str
     key: str
@@ -24,8 +55,16 @@ class KVCommand:
     command_id: str = ""
 
     def __post_init__(self) -> None:
-        if self.op not in ("get", "put", "cas", "noop"):
+        if self.op not in ("get", "put", "cas", "noop", "config"):
             raise ValueError(f"unknown op {self.op!r}")
+
+    # The consensus layer buckets fast-path votes by proposal value, so
+    # commands must hash even when ``value`` is an unhashable payload
+    # (``config`` commands carry dicts). Identity fields suffice:
+    # command ids are unique per submission, so equal commands share
+    # ids and the hash/eq contract holds.
+    def __hash__(self) -> int:
+        return hash((self.op, self.key, self.command_id))
 
     # Total order: the fast path compares proposals. Any deterministic
     # total order works; ties on the sort key cannot happen across
@@ -144,6 +183,9 @@ class KVStore:
         self.data: Dict[str, Any] = {}
         self.applied_ids: set = set()
         self.log: List[KVCommand] = []
+        # (version, entries) cache for the compiled shard-meta table;
+        # invalidated by the version counter every config apply bumps.
+        self._shard_cache: Optional[Tuple[int, List[Tuple[str, Dict[str, Any]]]]] = None
 
     def apply(self, command: KVCommand) -> Any:
         """Apply *command*; returns the operation result.
@@ -151,13 +193,30 @@ class KVStore:
         Re-applying a command_id already applied is a no-op returning the
         marker string ``"duplicate"`` — the SMR layer relies on this when
         the same command wins more than one slot.
+
+        A data command whose key falls in a range this store fenced away
+        (a ``shard_prepare`` config applied earlier in this log) returns
+        :data:`WRONG_SHARD` **without** executing, logging, or marking the
+        id applied: the epoch-fencing rule is enforced at apply time, so a
+        command that raced into the consensus log behind a fence is
+        refused identically on every replica and stays free to commit in
+        the range's new home group.
         """
         if command.command_id and command.command_id in self.applied_ids:
             return "duplicate"
+        if (
+            command.op in ("get", "put", "cas")
+            and command.key
+            and not command.key.startswith("__")
+            and self.fence_for(command.key) is not None
+        ):
+            return WRONG_SHARD
         self.applied_ids.add(command.command_id)
         self.log.append(command)
         if command.op == "noop":
             return None
+        if command.op == "config":
+            return self._apply_config(command)
         if command.op == "get":
             return self.data.get(command.key)
         if command.op == "put":
@@ -170,6 +229,92 @@ class KVStore:
                 return True
             return False
         raise AssertionError(f"unreachable op {command.op!r}")
+
+    # ------------------------------------------------------------------
+    # Shard metadata: replicated fences and installed ranges.
+    # ------------------------------------------------------------------
+
+    def shard_entries(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """Compiled ``("fence" | "owned", info)`` entries, epoch-ascending.
+
+        Derived from the reserved ``__shard__/`` keys so it is identical
+        on every replica at the same log position and survives snapshots,
+        WAL replay, and state transfer unchanged.
+        """
+        version = self.data.get(SHARD_META_PREFIX + "version", 0)
+        if self._shard_cache is not None and self._shard_cache[0] == version:
+            return self._shard_cache[1]
+        entries: List[Tuple[str, Dict[str, Any]]] = []
+        for key, info in self.data.items():
+            if not key.startswith(SHARD_META_PREFIX):
+                continue
+            tail = key[len(SHARD_META_PREFIX):]
+            if tail.startswith("fence/"):
+                entries.append(("fence", info))
+            elif tail.startswith("owned/"):
+                entries.append(("owned", info))
+        entries.sort(key=lambda entry: entry[1]["epoch"])
+        self._shard_cache = (version, entries)
+        return entries
+
+    def fence_for(self, key: str) -> Optional[Dict[str, Any]]:
+        """The fence covering *key*, unless a later install re-owned it.
+
+        Returns the highest-epoch shard-meta entry covering the key's
+        slot when that entry is a fence (the range was handed away), else
+        ``None`` (never sharded here, or installed back at a higher
+        epoch).
+        """
+        best: Optional[Tuple[str, Dict[str, Any]]] = None
+        for kind, info in self.shard_entries():
+            if info["lo"] <= key_slot(key, info["slots"]) < info["hi"]:
+                best = (kind, info)  # epoch-ascending: last hit wins
+        if best is not None and best[0] == "fence":
+            return best[1]
+        return None
+
+    def _apply_config(self, command: KVCommand) -> Any:
+        payload = command.value if isinstance(command.value, dict) else {}
+        kind = payload.get("kind")
+        lo, hi = payload.get("lo"), payload.get("hi")
+        tag = f"{lo}-{hi}"
+        result: Any = None
+        if kind == "shard_prepare":
+            self.data[SHARD_META_PREFIX + f"fence/{tag}"] = {
+                "lo": lo,
+                "hi": hi,
+                "slots": payload["slots"],
+                "epoch": payload["epoch"],
+                "dest": payload["dest"],
+            }
+            result = "fenced"
+        elif kind == "shard_install":
+            for key, value in (payload.get("data") or {}).items():
+                self.data[key] = value
+            for command_id in payload.get("applied_ids") or ():
+                self.applied_ids.add(command_id)
+            self.data[SHARD_META_PREFIX + f"owned/{tag}"] = {
+                "lo": lo,
+                "hi": hi,
+                "slots": payload["slots"],
+                "epoch": payload["epoch"],
+                "source": payload.get("source", -1),
+            }
+            result = "installed"
+        elif kind == "shard_release":
+            slots = payload["slots"]
+            doomed = [
+                key
+                for key in self.data
+                if not key.startswith("__") and lo <= key_slot(key, slots) < hi
+            ]
+            for key in doomed:
+                del self.data[key]
+            result = "released"
+        self.data[SHARD_META_PREFIX + "version"] = (
+            self.data.get(SHARD_META_PREFIX + "version", 0) + 1
+        )
+        return result
 
     def snapshot(self) -> Dict[str, Any]:
         return dict(self.data)

@@ -20,15 +20,19 @@ from .recovery import (
     NodeStorage,
     RecoveryResult,
     ReplicaPersister,
+    fetch_range_state,
     fetch_snapshot,
     inspect_data_dir,
     install_state,
+    range_state_chunks,
     snapshot_chunks,
 )
 from .retention import RetentionPolicy, RetentionReport
 from .snapshot import (
     SnapshotInfo,
+    deserialize_range_state,
     deserialize_replica_state,
+    serialize_range_state,
     latest_snapshot,
     list_snapshots,
     load_snapshot,
@@ -50,8 +54,10 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "decode_record",
+    "deserialize_range_state",
     "deserialize_replica_state",
     "encode_record",
+    "fetch_range_state",
     "fetch_snapshot",
     "inspect_data_dir",
     "install_state",
@@ -60,7 +66,9 @@ __all__ = [
     "list_snapshots",
     "load_snapshot",
     "pack_record",
+    "range_state_chunks",
     "scan_segment",
+    "serialize_range_state",
     "serialize_replica_state",
     "snapshot_chunks",
     "write_snapshot",

@@ -389,12 +389,69 @@ async def fetch_snapshot(
             pass
 
 
-def snapshot_chunks(codec: Any, replica: Any, request_id: str) -> List[Any]:
-    """Serve side of state transfer: serialize + chunk a live replica."""
+async def fetch_range_state(
+    address: Tuple[str, int],
+    codec: Any,
+    lo: int,
+    hi: int,
+    slots: int,
+    client_id: str = "range-fetch",
+    timeout: float = 10.0,
+) -> Optional[Dict[str, Any]]:
+    """Pull one fenced range's state from a node over the client link.
+
+    The rebalance mover's transfer leg: same chunked protocol as
+    :func:`fetch_snapshot` (the PR-5 snapshot-transfer frames), but the
+    request names a hash-slot range and the stream carries a range
+    document. Returns ``None`` when the peer hosts no replica.
+    """
+    from ..net.codec import WIRE_VERSION_JSON, read_frame
+    from ..net.wire import ClientHello, RangeSnapshotRequest, SnapshotChunk
+    from .snapshot import deserialize_range_state
+
+    request_id = f"{client_id}:{uuid.uuid4().hex[:8]}"
+    reader, writer = await asyncio.wait_for(asyncio.open_connection(*address), timeout)
+    try:
+        writer.write(codec.encode(ClientHello(client_id), WIRE_VERSION_JSON))
+        writer.write(
+            codec.encode(
+                RangeSnapshotRequest(request_id=request_id, lo=lo, hi=hi, slots=slots),
+                WIRE_VERSION_JSON,
+            )
+        )
+        await writer.drain()
+        parts: List[str] = []
+        while True:
+            frame = await asyncio.wait_for(read_frame(reader, codec), timeout)
+            if not isinstance(frame, SnapshotChunk) or frame.request_id != request_id:
+                continue
+            if frame.upto < 0:
+                return None  # peer hosts no replica
+            parts.append(frame.payload)
+            if frame.last:
+                break
+        return deserialize_range_state(codec, "".join(parts))
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+def range_state_chunks(
+    codec: Any, replica: Any, request_id: str, lo: int, hi: int, slots: int
+) -> List[Any]:
+    """Serve side of range transfer: serialize + chunk one slot range."""
+    from ..net.wire import SnapshotChunk
+    from .snapshot import serialize_range_state
+
+    text = serialize_range_state(codec, replica, lo, hi, slots)
+    return _chunked(text, request_id, replica.applied_upto)
+
+
+def _chunked(text: str, request_id: str, upto: int) -> List[Any]:
     from ..net.wire import SnapshotChunk
 
-    text = serialize_replica_state(codec, replica)
-    upto = replica.applied_upto
     chunks = []
     total = max(1, (len(text) + TRANSFER_CHUNK_CHARS - 1) // TRANSFER_CHUNK_CHARS)
     for seq in range(total):
@@ -409,6 +466,12 @@ def snapshot_chunks(codec: Any, replica: Any, request_id: str) -> List[Any]:
             )
         )
     return chunks
+
+
+def snapshot_chunks(codec: Any, replica: Any, request_id: str) -> List[Any]:
+    """Serve side of state transfer: serialize + chunk a live replica."""
+    text = serialize_replica_state(codec, replica)
+    return _chunked(text, request_id, replica.applied_upto)
 
 
 def inspect_data_dir(root: pathlib.Path, codec: Any) -> List[Dict[str, Any]]:

@@ -107,6 +107,60 @@ def deserialize_replica_state(codec: Any, text: str) -> Dict[str, Any]:
     }
 
 
+def serialize_range_state(
+    codec: Any, replica: Any, lo: int, hi: int, slots: int
+) -> str:
+    """Render the state of hash-slot range ``[lo, hi)`` as one document.
+
+    The rebalance transfer leg: extracts the keys whose slot (under a
+    *slots*-slot ring) falls in the range, plus the applied ids of every
+    logged command that touched those keys. Shard metadata and reserved
+    ``__``-prefixed keys never move — they are control-plane state of the
+    group, not of the range. Only meaningful after the range was fenced
+    at the serving replica: the fence refuses further range applies, so
+    the extracted document is final no matter when it is taken.
+    """
+    from ..smr.kvstore import key_slot
+
+    def in_range(key: str) -> bool:
+        return bool(key) and not key.startswith("__") and lo <= key_slot(key, slots) < hi
+
+    data = {key: value for key, value in replica.store.data.items() if in_range(key)}
+    applied_ids = sorted(
+        command.command_id
+        for command in replica.store.log
+        if command.op in ("get", "put", "cas") and in_range(command.key)
+    )
+    tree = {
+        "format": SNAPSHOT_FORMAT,
+        "kind": "range",
+        "lo": lo,
+        "hi": hi,
+        "slots": slots,
+        "data": codec.to_jsonable(data),
+        "applied_ids": applied_ids,
+    }
+    return json.dumps(tree, separators=(",", ":"), sort_keys=True)
+
+
+def deserialize_range_state(codec: Any, text: str) -> Dict[str, Any]:
+    """Parse a :func:`serialize_range_state` document."""
+    tree = json.loads(text)
+    fmt = tree.get("format")
+    if fmt != SNAPSHOT_FORMAT or tree.get("kind") != "range":
+        raise ValueError(
+            f"range-state format {fmt!r}/{tree.get('kind')!r}, "
+            f"expected {SNAPSHOT_FORMAT}/'range'"
+        )
+    return {
+        "lo": int(tree["lo"]),
+        "hi": int(tree["hi"]),
+        "slots": int(tree["slots"]),
+        "data": codec.from_jsonable(tree["data"]),
+        "applied_ids": list(tree["applied_ids"]),
+    }
+
+
 def write_snapshot(
     directory: pathlib.Path, codec: Any, replica: Any, wal_seq: int
 ) -> SnapshotInfo:
@@ -125,7 +179,9 @@ def load_snapshot(codec: Any, info: SnapshotInfo) -> Dict[str, Any]:
 __all__ = [
     "SNAPSHOT_FORMAT",
     "SnapshotInfo",
+    "deserialize_range_state",
     "deserialize_replica_state",
+    "serialize_range_state",
     "latest_snapshot",
     "list_snapshots",
     "load_snapshot",

@@ -1,0 +1,168 @@
+"""Placement-map unit and property tests.
+
+The map is the sharding layer's safety anchor: every router, service,
+and store derives ownership from it, so it must stay a canonical
+contiguous tiling under any sequence of moves, survive the JSON payload
+round-trip exactly, and fold replicated fence/install overrides into the
+same effective map on every replica.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.shard.placement import (
+    DEFAULT_SLOTS,
+    PlacementMap,
+    RangeAssignment,
+    apply_overrides,
+)
+from repro.smr.kvstore import key_slot
+
+
+def test_initial_map_tiles_evenly():
+    placement = PlacementMap.initial(4, 64)
+    assert placement.epoch == 0
+    assert [(a.lo, a.hi, a.group) for a in placement.ranges] == [
+        (0, 16, 0),
+        (16, 32, 1),
+        (32, 48, 2),
+        (48, 64, 3),
+    ]
+    assert placement.groups() == [0, 1, 2, 3]
+
+
+def test_key_slot_is_stable_across_calls():
+    # CRC32, not hash(): the mapping must be identical on every replica.
+    assert key_slot("alpha", 64) == key_slot("alpha", 64)
+    assert 0 <= key_slot("alpha", 64) < 64
+    assert key_slot("alpha", 64) == 42  # pinned: changing this reshards data
+
+
+def test_group_for_key_follows_slot_assignment():
+    placement = PlacementMap.initial(2, 16)
+    for key in ("a", "b", "gamma", "key-7"):
+        slot = key_slot(key, 16)
+        assert placement.group_for_key(key) == placement.group_for_slot(slot)
+
+
+def test_move_bumps_epoch_and_reassigns():
+    placement = PlacementMap.initial(2, 16)
+    moved = placement.move(0, 4, dest=1)
+    assert moved.epoch == 1
+    assert all(moved.group_for_slot(slot) == 1 for slot in range(4))
+    assert all(moved.group_for_slot(slot) == 0 for slot in range(4, 8))
+    # The original is immutable.
+    assert placement.epoch == 0
+    assert placement.group_for_slot(0) == 0
+
+
+def test_move_merges_adjacent_ranges_to_canonical_form():
+    placement = PlacementMap.initial(2, 16)
+    # Hand group 0's whole half over in two steps: the result must merge
+    # into a single [0, 16) -> 1 range, not a fragmented equivalent.
+    moved = placement.move(0, 4, dest=1).move(4, 8, dest=1)
+    assert moved.ranges == (RangeAssignment(0, 16, 1),)
+    assert moved.epoch == 2
+
+
+def test_bad_constructions_are_rejected():
+    with pytest.raises(ConfigurationError):
+        PlacementMap.initial(0, 16)
+    with pytest.raises(ConfigurationError):
+        PlacementMap.initial(8, 4)  # fewer slots than groups
+    with pytest.raises(ConfigurationError):
+        PlacementMap(epoch=0, slots=8, ranges=(RangeAssignment(0, 4, 0),))
+    with pytest.raises(ConfigurationError):
+        PlacementMap.initial(2, 16).move(4, 4, dest=1)
+    with pytest.raises(ConfigurationError):
+        PlacementMap.initial(2, 16).move(0, 17, dest=1)
+
+
+@given(
+    groups=st.integers(min_value=1, max_value=6),
+    slots=st.integers(min_value=6, max_value=96),
+)
+def test_payload_round_trip_is_identity(groups, slots):
+    placement = PlacementMap.initial(groups, slots)
+    assert PlacementMap.from_payload(placement.to_payload()) == placement
+
+
+@given(
+    moves=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),
+            st.integers(min_value=1, max_value=32),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=8,
+    )
+)
+@settings(max_examples=60)
+def test_any_move_sequence_keeps_the_map_canonical(moves):
+    """Moves never break the tiling, lose slots, or skip epochs."""
+    placement = PlacementMap.initial(4, 32)
+    for lo, span, dest in moves:
+        hi = min(lo + span, 32)
+        if hi <= lo:
+            continue
+        before = placement
+        placement = placement.move(lo, hi, dest)
+        assert placement.epoch == before.epoch + 1
+        assert all(placement.group_for_slot(s) == dest for s in range(lo, hi))
+        # Slots outside the moved range keep their owner.
+        for slot in range(32):
+            if not (lo <= slot < hi):
+                assert placement.group_for_slot(slot) == before.group_for_slot(slot)
+        # Canonical: no two adjacent ranges share a group (merged form).
+        for left, right in zip(placement.ranges, placement.ranges[1:]):
+            assert left.group != right.group
+        # And the payload round-trip stays exact after every step.
+        assert PlacementMap.from_payload(placement.to_payload()) == placement
+
+
+def test_apply_overrides_fence_reassigns_to_dest():
+    base = PlacementMap.initial(2, 16)
+    entries = [("fence", {"lo": 0, "hi": 4, "slots": 16, "epoch": 1, "dest": 1})]
+    effective = apply_overrides(base, entries, local_group=0)
+    assert effective.epoch == 1
+    assert all(effective.group_for_slot(s) == 1 for s in range(4))
+
+
+def test_apply_overrides_owned_reassigns_to_local_group():
+    # The destination's view: an installed range belongs here even though
+    # the boot map still says it belongs to the source.
+    base = PlacementMap.initial(2, 16)
+    entries = [("owned", {"lo": 0, "hi": 4, "slots": 16, "epoch": 1, "source": 0})]
+    effective = apply_overrides(base, entries, local_group=1)
+    assert effective.epoch == 1
+    assert all(effective.group_for_slot(s) == 1 for s in range(4))
+
+
+def test_apply_overrides_latest_epoch_wins():
+    # A group that handed a range away (epoch 1) and received it back
+    # (epoch 2) must resolve to owning it again.
+    base = PlacementMap.initial(2, 16)
+    entries = [
+        ("fence", {"lo": 0, "hi": 4, "slots": 16, "epoch": 1, "dest": 1}),
+        ("owned", {"lo": 0, "hi": 4, "slots": 16, "epoch": 2, "source": 1}),
+    ]
+    effective = apply_overrides(base, entries, local_group=0)
+    assert effective.epoch == 2
+    assert all(effective.group_for_slot(s) == 0 for s in range(4))
+
+
+def test_apply_overrides_ignores_foreign_slot_counts():
+    # Entries recorded under a different ring size cannot be mapped onto
+    # this ring; they still advance the epoch (fencing currency) but must
+    # not corrupt the tiling.
+    base = PlacementMap.initial(2, 16)
+    entries = [("fence", {"lo": 0, "hi": 4, "slots": 64, "epoch": 3, "dest": 1})]
+    effective = apply_overrides(base, entries, local_group=0)
+    assert effective.epoch == 3
+    assert effective.ranges == base.ranges
+
+
+def test_default_slots_is_the_documented_value():
+    assert DEFAULT_SLOTS == 64
